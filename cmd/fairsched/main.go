@@ -1,0 +1,131 @@
+// Command fairsched runs one multi-organization scheduling simulation
+// and reports per-organization utilities, contributions and fairness.
+//
+// Workloads come from a synthetic family or from a Standard Workload
+// Format (SWF) trace file:
+//
+//	fairsched -family lpc-egee -alg directcontr -orgs 5 -horizon 50000
+//	fairsched -swf trace.swf -alg ref -orgs 3 -horizon 10000 -gantt
+//
+// With -compare, the run is repeated with the exact REF algorithm and
+// the unfairness Δψ/p_tot is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vis"
+)
+
+func main() {
+	var (
+		family   = flag.String("family", "lpc-egee", "synthetic workload family (lpc-egee, pik-iplex, sharcnet-whale, ricc)")
+		swfPath  = flag.String("swf", "", "SWF trace file (overrides -family)")
+		algName  = flag.String("alg", "directcontr", "algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
+		orgs     = flag.Int("orgs", 5, "number of organizations")
+		horizon  = flag.Int64("horizon", 50000, "simulation horizon (time units)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		samples  = flag.Int("rand-n", 15, "RAND sample count")
+		split    = flag.String("split", "zipf", "machine split among organizations: zipf | uniform")
+		machines = flag.Int("machines", 0, "total machines when using -swf (0 = #orgs)")
+		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
+		compare  = flag.Bool("compare", false, "also run REF and report Δψ/p_tot")
+	)
+	flag.Parse()
+
+	inst, err := buildInstance(*swfPath, *family, *orgs, *split, *machines, model.Time(*horizon), *seed)
+	fail(err)
+	alg, err := exp.AlgorithmByName(*algName, *samples, core.RefOptions{Parallel: true})
+	fail(err)
+
+	res := alg.Run(inst, model.Time(*horizon), *seed)
+	fmt.Printf("algorithm   : %s\n", res.Algorithm)
+	fmt.Printf("jobs        : %d started of %d\n", len(res.Starts), len(inst.Jobs))
+	fmt.Printf("machines    : %d\n", inst.TotalMachines())
+	fmt.Printf("horizon     : %d\n", res.Horizon)
+	fmt.Printf("value v(C)  : %d\n", res.Value)
+	fmt.Printf("utilization : %.3f\n\n", res.Utilization)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "org\tmachines\tjobs\tψ (utility)\tφ (contribution)")
+	perOrg := make([]int, len(inst.Orgs))
+	for _, j := range inst.Jobs {
+		perOrg[j.Org]++
+	}
+	for i, o := range inst.Orgs {
+		phi := "-"
+		if res.Phi != nil {
+			phi = fmt.Sprintf("%.1f", res.Phi[i])
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%s\n", o.Name, o.Machines, perOrg[i], res.Psi[i], phi)
+	}
+	w.Flush()
+
+	if *compare {
+		ref := core.RefAlgorithm{Opts: core.RefOptions{Parallel: true}}.Run(inst, model.Time(*horizon), *seed)
+		fmt.Printf("\nREF reference value : %d\n", ref.Value)
+		fmt.Printf("Δψ (L1 distance)    : %d\n", metrics.DeltaPsi(res.Psi, ref.Psi))
+		fmt.Printf("Δψ/p_tot            : %.3f\n", metrics.UnfairnessPerUnit(res.Psi, ref.Psi, ref.Ptot))
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(vis.Gantt(inst, res.Starts, inst.TotalMachines(), model.Time(*horizon), 100))
+	}
+}
+
+func buildInstance(swfPath, family string, orgs int, split string, machines int, horizon model.Time, seed int64) (*model.Instance, error) {
+	rng := stats.NewRand(seed)
+	if swfPath != "" {
+		f, err := os.Open(swfPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, skipped, err := trace.ParseSWF(f)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "fairsched: skipped %d unusable trace records\n", skipped)
+		}
+		tr = tr.Sequentialize().Window(0, horizon)
+		if machines <= 0 {
+			machines = orgs
+		}
+		var splits []int
+		if split == "uniform" {
+			splits = stats.UniformSplit(machines, orgs)
+		} else {
+			splits = stats.ZipfSplit(machines, orgs, 1)
+		}
+		return trace.ToInstance(tr, splits, trace.AssignUsers(tr.Users(), orgs, rng))
+	}
+	fam, err := gen.FamilyByName(family)
+	if err != nil {
+		return nil, err
+	}
+	var splits []int
+	if split == "uniform" {
+		splits = stats.UniformSplit(fam.Procs, orgs)
+	} else {
+		splits = stats.ZipfSplit(fam.Procs, orgs, 1)
+	}
+	return fam.Instance(horizon, orgs, splits, rng)
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairsched:", err)
+		os.Exit(1)
+	}
+}

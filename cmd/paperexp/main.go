@@ -1,0 +1,127 @@
+// Command paperexp regenerates every table and figure of the paper's
+// evaluation section (Skowron & Rzadca, SPAA 2013):
+//
+//	paperexp -table1            # Table 1: Δψ/p_tot, horizon 5·10⁴
+//	paperexp -table2            # Table 2: Δψ/p_tot, horizon 5·10⁵
+//	paperexp -fig10             # Figure 10: unfairness vs organizations
+//	paperexp -fig7              # Figure 7: greedy utilization gap
+//	paperexp -fig2              # Figure 2: worked utility example
+//	paperexp -all               # everything above
+//
+// Workload families are scaled-down replicas of the archive traces by
+// default (see DESIGN.md); -scale=full restores the original processor
+// counts (slow). -instances controls the number of sampled sub-traces
+// per cell (the paper uses 100).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+func main() {
+	var (
+		table1    = flag.Bool("table1", false, "reproduce Table 1 (horizon 5e4)")
+		table2    = flag.Bool("table2", false, "reproduce Table 2 (horizon 5e5)")
+		fig10     = flag.Bool("fig10", false, "reproduce Figure 10 (unfairness vs #organizations)")
+		fig7      = flag.Bool("fig7", false, "reproduce Figure 7 (greedy utilization gap)")
+		fig2      = flag.Bool("fig2", false, "reproduce Figure 2 (worked utility example)")
+		all       = flag.Bool("all", false, "reproduce everything")
+		instances = flag.Int("instances", 20, "instances per cell (paper: 100)")
+		samples   = flag.Int("rand-n", 15, "RAND sample count N (paper: 15 and 75)")
+		seed      = flag.Int64("seed", 1, "base random seed")
+		scale     = flag.String("scale", "small", "workload scale: small | full")
+		maxOrgs   = flag.Int("max-orgs", 7, "largest organization count for -fig10 (paper: 10)")
+		workers   = flag.Int("workers", 0, "parallel instance workers (0 = GOMAXPROCS)")
+		rotate    = flag.Bool("rotate", false, "use REF's within-instant rotation mode")
+	)
+	flag.Parse()
+	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+	refOpts := core.RefOptions{Rotate: *rotate, Parallel: true}
+	configs := func(horizon model.Time) []exp.Config {
+		var out []exp.Config
+		for _, f := range gen.Families() {
+			if *scale == "full" {
+				f = f.Scale(gen.FullScaleFactor(f))
+			}
+			cfg := exp.DefaultConfig(f)
+			cfg.Horizon = horizon
+			cfg.Instances = *instances
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			cfg.RefOpts = refOpts
+			out = append(out, cfg)
+		}
+		return out
+	}
+	algs := exp.DefaultAlgorithms(*samples)
+
+	if *all || *fig2 {
+		r := exp.Figure2()
+		fmt.Println("=== Figure 2: the strategy-proof utility ψsp on a worked schedule ===")
+		fmt.Print(r.Gantt)
+		fmt.Print(r.Legend)
+		fmt.Printf("ψsp(O1, t=13) = %d   (paper: 262)\n", r.Psi13)
+		fmt.Printf("ψsp(O1, t=14) = %d   (paper: 297)\n", r.Psi14)
+		fmt.Printf("flow time(14) = %d   (paper: 70)\n\n", r.Flow14)
+	}
+	if *all || *fig7 {
+		r := exp.Figure7()
+		fmt.Println("=== Figure 7: greedy algorithms and resource utilization (T=6) ===")
+		fmt.Println("O2 scheduled first:")
+		fmt.Print(r.GanttO2First)
+		fmt.Printf("utilization = %.2f   (paper: 1.00)\n", r.UtilizationO2First)
+		fmt.Println("O1 scheduled first:")
+		fmt.Print(r.GanttO1First)
+		fmt.Printf("utilization = %.2f   (paper: 0.75 — the tight 3/4 bound of Theorem 6.2)\n\n", r.UtilizationO1First)
+	}
+	if *all || *table1 {
+		t, err := exp.UnfairnessTable(configs(50000), algs)
+		fail(err)
+		fmt.Print(t.Render(fmt.Sprintf(
+			"=== Table 1: average job delay Δψ/p_tot, horizon 5·10⁴, %d instances, scale=%s ===",
+			*instances, *scale)))
+		fmt.Println()
+	}
+	if *all || *table2 {
+		t, err := exp.UnfairnessTable(configs(500000), algs)
+		fail(err)
+		fmt.Print(t.Render(fmt.Sprintf(
+			"=== Table 2: average job delay Δψ/p_tot, horizon 5·10⁵, %d instances, scale=%s ===",
+			*instances, *scale)))
+		fmt.Println()
+	}
+	if *all || *fig10 {
+		base := exp.DefaultConfig(gen.LPCEGEE())
+		base.Instances = *instances
+		base.Seed = *seed
+		base.Workers = *workers
+		base.RefOpts = refOpts
+		var ks []int
+		for k := 2; k <= *maxOrgs; k++ {
+			ks = append(ks, k)
+		}
+		t, err := exp.OrgCountSweep(base, ks, algs)
+		fail(err)
+		fmt.Print(t.RenderSeries(fmt.Sprintf(
+			"=== Figure 10: Δψ/p_tot vs number of organizations (LPC-EGEE, %d instances) ===",
+			*instances)))
+		fmt.Println()
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,29 @@
+// Package repro is a production-quality Go reproduction of
+// "Non-monetary fair scheduling — a cooperative game theory approach"
+// (Skowron & Rzadca, SPAA 2013).
+//
+// The module implements the paper's Shapley-value based fair schedulers
+// (REF, RAND, DIRECTCONTR), the strategy-proof utility function ψsp, the
+// distributive-fairness baselines it is evaluated against, an event-driven
+// multi-organization cluster simulator, synthetic workload generators
+// modeled after the Parallel Workload Archive traces used in the paper,
+// and an experiment harness that regenerates every table and figure of
+// the evaluation section.
+//
+// Layout:
+//
+//	internal/model    — organizations, jobs, coalitions, instances
+//	internal/utility  — ψsp and classic scheduling metrics
+//	internal/shapley  — generic Shapley-value machinery
+//	internal/sim      — event-driven cluster simulator with greedy dispatch
+//	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR
+//	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
+//	internal/trace    — Standard Workload Format (SWF) reader/writer
+//	internal/gen      — synthetic workload families
+//	internal/exp      — Table 1/2 and Figure 7/10 experiment runners
+//	cmd/...           — fairsched, paperexp, tracegen executables
+//	examples/...      — runnable scenarios built on the public API
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for
+// paper-versus-measured results.
+package repro

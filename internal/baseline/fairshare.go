@@ -1,0 +1,79 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// shareRatioPolicy is the common core of the fair-share family: pick the
+// waiting organization with the smallest metric/share ratio, where the
+// share is the fraction of machines the organization contributes
+// (Section 7.1: "we set the target share to the fraction of processors
+// contributed by an organization"). Organizations with zero share rank
+// last but remain schedulable — greediness must hold.
+type shareRatioPolicy struct {
+	name   string
+	metric func(v *sim.View, org int) float64
+	view   *sim.View
+}
+
+// Name implements sim.Policy.
+func (p *shareRatioPolicy) Name() string { return p.name }
+
+// Attach implements sim.Policy.
+func (p *shareRatioPolicy) Attach(v *sim.View, _ *rand.Rand) { p.view = v }
+
+// Select implements sim.Policy.
+func (p *shareRatioPolicy) Select(_ model.Time, _ int) int {
+	best := -1
+	bestRatio := math.Inf(1)
+	for org := 0; org < p.view.Orgs(); org++ {
+		if p.view.Waiting(org) == 0 {
+			continue
+		}
+		share := p.view.Share(org)
+		var ratio float64
+		if share == 0 {
+			ratio = math.Inf(1)
+		} else {
+			ratio = p.metric(p.view, org) / share
+		}
+		if best == -1 || ratio < bestRatio {
+			best, bestRatio = org, ratio
+		}
+	}
+	return best
+}
+
+// NewFairShare returns the classic fair-share policy (Kay & Lauder): the
+// organization with the least consumed CPU time relative to its share
+// goes first. Usage is executed unit slots — the only usage notion
+// available non-clairvoyantly.
+func NewFairShare() sim.Policy {
+	return &shareRatioPolicy{
+		name:   "FairShare",
+		metric: func(v *sim.View, org int) float64 { return float64(v.Usage(org)) },
+	}
+}
+
+// NewUtFairShare returns the utility-balancing variant: fair share's
+// allocation rule applied to the strategy-proof utility ψsp instead of
+// consumed CPU time.
+func NewUtFairShare() sim.Policy {
+	return &shareRatioPolicy{
+		name:   "UtFairShare",
+		metric: func(v *sim.View, org int) float64 { return float64(v.Psi(org)) },
+	}
+}
+
+// NewCurrFairShare returns the history-less variant: only the number of
+// currently executing jobs counts, kept proportional to the shares.
+func NewCurrFairShare() sim.Policy {
+	return &shareRatioPolicy{
+		name:   "CurrFairShare",
+		metric: func(v *sim.View, org int) float64 { return float64(v.Running(org)) },
+	}
+}

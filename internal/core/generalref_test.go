@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// The paper's Figure 3 claim: for ψsp, the general Distance rule of
+// Figure 1 reduces to argmax(φ−ψ). The two implementations must
+// produce identical schedules.
+func TestGeneralRefMatchesRefForPsiSP(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(60 + seed))
+		k := 2 + r.Intn(3)
+		in := randCoreInstance(r, k, false)
+		horizon := in.Horizon() + 1
+		a := RefAlgorithm{}.Run(in, horizon, 0)
+		b := GeneralRefAlgorithm{Util: utility.SP{}}.Run(in, horizon, 0)
+		if len(a.Starts) != len(b.Starts) {
+			t.Fatalf("seed %d: start counts %d vs %d", seed, len(a.Starts), len(b.Starts))
+		}
+		for i := range a.Starts {
+			if a.Starts[i] != b.Starts[i] {
+				t.Fatalf("seed %d: schedules diverge at start %d: %+v vs %+v",
+					seed, i, a.Starts[i], b.Starts[i])
+			}
+		}
+		for u := range a.Psi {
+			if a.Psi[u] != b.Psi[u] {
+				t.Fatalf("seed %d: ψ[%d] = %d vs %d", seed, u, a.Psi[u], b.Psi[u])
+			}
+		}
+	}
+}
+
+// With the Starts utility, Δψ = 1 at every start, so Figure 1's
+// Distance procedure is non-degenerate: within a single instant the
+// machines spread across organizations instead of draining one queue.
+func TestGeneralRefStartsUtilitySpreads(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}, {Name: "B", Machines: 1}},
+		[]model.Job{
+			{Org: 0, Release: 0, Size: 4},
+			{Org: 0, Release: 0, Size: 4},
+			{Org: 1, Release: 0, Size: 4},
+			{Org: 1, Release: 0, Size: 4},
+		},
+	)
+	res := GeneralRefAlgorithm{Util: utility.Starts{}}.Run(in, 8, 0)
+	// At t=0 both machines are free; the Distance rule must give one to
+	// each organization (draining A's queue would unbalance ψ vs φ).
+	first := map[int]int{}
+	for _, s := range res.Starts {
+		if s.At == 0 {
+			first[s.Org]++
+		}
+	}
+	if first[0] != 1 || first[1] != 1 {
+		t.Fatalf("t=0 starts per org = %v, want one each", first)
+	}
+	// Utilities are start counts: 2 each at the horizon.
+	if res.Psi[0] != 2 || res.Psi[1] != 2 {
+		t.Fatalf("starts-utility ψ = %v", res.Psi)
+	}
+}
+
+// Efficiency holds for any utility: Σφ = v(grand).
+func TestGeneralRefEfficiency(t *testing.T) {
+	for _, util := range []utility.Func{utility.SP{}, utility.Starts{}, utility.CompletedWork{}} {
+		r := rand.New(rand.NewSource(77))
+		in := randCoreInstance(r, 3, false)
+		res := GeneralRefAlgorithm{Util: util}.Run(in, in.Horizon()+1, 0)
+		var sum float64
+		for _, p := range res.Phi {
+			sum += p
+		}
+		if math.Abs(sum-float64(res.Value)) > 1e-6*math.Max(1, math.Abs(float64(res.Value))) {
+			t.Errorf("%s: Σφ = %v, value = %d", util.Name(), sum, res.Value)
+		}
+	}
+}
+
+// The Result of a GeneralRef run reports the configured utility, not
+// ψsp: with CompletedWork, Σψ at a generous horizon equals total work.
+func TestGeneralRefReportsConfiguredUtility(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	in := randCoreInstance(r, 2, false)
+	res := GeneralRefAlgorithm{Util: utility.CompletedWork{}}.Run(in, in.Horizon()+1, 0)
+	var sum int64
+	for _, p := range res.Psi {
+		sum += p
+	}
+	if sum != int64(in.TotalWork()) {
+		t.Fatalf("completed-work Σψ = %d, want %d", sum, in.TotalWork())
+	}
+}
+
+func TestUtilityFuncs(t *testing.T) {
+	execs := []utility.Execution{{Start: 0, Size: 3}, {Start: 5, Size: 2}}
+	if got := (utility.SP{}).Eval(execs, 6); got != utility.Psi(execs, 6) {
+		t.Errorf("SP.Eval = %d", got)
+	}
+	if got := (utility.Starts{}).Eval(execs, 6); got != 2 {
+		t.Errorf("Starts.Eval = %d", got)
+	}
+	if got := (utility.Starts{}).Eval(execs, 3); got != 1 {
+		t.Errorf("Starts.Eval(3) = %d", got)
+	}
+	if got := (utility.CompletedWork{}).Eval(execs, 6); got != 3+1 {
+		t.Errorf("CompletedWork.Eval = %d", got)
+	}
+	for _, f := range []utility.Func{utility.SP{}, utility.Starts{}, utility.CompletedWork{}} {
+		if f.Name() == "" {
+			t.Error("unnamed utility")
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// RandSched is Algorithm RAND (Figure 6): contributions are estimated by
+// sampling N permutations of the organizations; for every organization u
+// and sampled permutation, the marginal value of u joining its
+// predecessors is measured on simplified (FCFS) schedules of the sampled
+// coalitions. For unit-size jobs the coalition value is
+// schedule-independent (Proposition 5.4), making the estimate exact in
+// expectation and the algorithm an FPRAS (Theorems 5.6–5.7); for general
+// jobs it is the paper's strongest heuristic.
+type RandSched struct {
+	inst    *model.Instance
+	k       int
+	samples int
+	grand   model.Coalition
+
+	decision *sim.Cluster
+	masks    []model.Coalition // distinct sampled masks, ascending
+	clusters map[model.Coalition]*sim.Cluster
+	preds    [][]model.Coalition // per org: N sampled predecessor sets
+	phi      []float64
+}
+
+// NewRandSched samples the permutations with the given seed and builds
+// FCFS clusters for every distinct sampled coalition (Prepare in
+// Figure 6).
+func NewRandSched(inst *model.Instance, samples int, seed int64) *RandSched {
+	if samples < 1 {
+		panic("core: RAND needs at least one sampled permutation")
+	}
+	k := len(inst.Orgs)
+	r := &RandSched{
+		inst:     inst,
+		k:        k,
+		samples:  samples,
+		grand:    model.Grand(k),
+		clusters: make(map[model.Coalition]*sim.Cluster),
+		preds:    make([][]model.Coalition, k),
+		phi:      make([]float64, k),
+	}
+	rng := stats.NewRand(seed)
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+	need := make(map[model.Coalition]bool)
+	for s := 0; s < samples; s++ {
+		rng.Shuffle(k, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		var c model.Coalition
+		for _, u := range perm {
+			r.preds[u] = append(r.preds[u], c)
+			if !c.Empty() {
+				need[c] = true
+			}
+			c = c.With(u)
+			need[c] = true
+		}
+	}
+	for mask := range need {
+		r.masks = append(r.masks, mask)
+		r.clusters[mask] = sim.New(inst, mask, baseline.NewFCFS(), nil)
+	}
+	sort.Slice(r.masks, func(i, j int) bool { return r.masks[i] < r.masks[j] })
+	r.decision = sim.New(inst, r.grand, &randPolicy{r: r}, rng)
+	return r
+}
+
+// Run drives the decision schedule and every sampled coalition schedule
+// to the horizon and returns the decision schedule's result with the
+// final sampled contribution estimates.
+func (r *RandSched) Run(until model.Time) *Result {
+	for {
+		t := r.decision.NextEventTime()
+		for _, mask := range r.masks {
+			if e := r.clusters[mask].NextEventTime(); e < t {
+				t = e
+			}
+		}
+		if t == sim.MaxTime || t > until {
+			break
+		}
+		for _, mask := range r.masks {
+			c := r.clusters[mask]
+			c.AdvanceTo(t)
+			c.Dispatch()
+		}
+		r.decision.AdvanceTo(t)
+		if r.decision.CanDispatch() {
+			r.computePhi()
+			r.decision.Dispatch()
+		}
+	}
+	for _, mask := range r.masks {
+		r.clusters[mask].AdvanceTo(until)
+	}
+	r.decision.AdvanceTo(until)
+	r.computePhi()
+	return resultFromCluster(r.name(), r.decision, until, append([]float64(nil), r.phi...))
+}
+
+func (r *RandSched) name() string { return fmt.Sprintf("Rand(N=%d)", r.samples) }
+
+// value returns the sampled coalition's value at the current instant.
+func (r *RandSched) value(mask model.Coalition) int64 {
+	if mask.Empty() {
+		return 0
+	}
+	return r.clusters[mask].Value()
+}
+
+// computePhi refreshes the Monte-Carlo contribution estimates:
+// φ[u] = (1/N)·Σ over sampled permutations of v(pred∪{u}) − v(pred).
+func (r *RandSched) computePhi() {
+	for u := 0; u < r.k; u++ {
+		var sum float64
+		for _, pred := range r.preds[u] {
+			sum += float64(r.value(pred.With(u)) - r.value(pred))
+		}
+		r.phi[u] = sum / float64(r.samples)
+	}
+}
+
+// randPolicy drives the decision schedule: argmax(φ−ψ) among waiting
+// organizations, low index on ties (SelectAndSchedule in Figure 6).
+type randPolicy struct {
+	r    *RandSched
+	view *sim.View
+}
+
+// Name implements sim.Policy.
+func (p *randPolicy) Name() string { return "RAND" }
+
+// Attach implements sim.Policy.
+func (p *randPolicy) Attach(v *sim.View, _ *rand.Rand) { p.view = v }
+
+// Select implements sim.Policy.
+func (p *randPolicy) Select(_ model.Time, _ int) int {
+	best := -1
+	var bestDeficit float64
+	for u := 0; u < p.r.k; u++ {
+		if p.view.Waiting(u) == 0 {
+			continue
+		}
+		deficit := p.r.phi[u] - float64(p.view.Psi(u))
+		if best == -1 || deficit > bestDeficit {
+			best, bestDeficit = u, deficit
+		}
+	}
+	return best
+}
+
+// RandAlgorithm adapts RandSched to the Algorithm interface.
+type RandAlgorithm struct{ Samples int }
+
+// Name implements Algorithm.
+func (a RandAlgorithm) Name() string { return fmt.Sprintf("Rand(N=%d)", a.Samples) }
+
+// Run implements Algorithm.
+func (a RandAlgorithm) Run(inst *model.Instance, until model.Time, seed int64) *Result {
+	return NewRandSched(inst, a.Samples, seed).Run(until)
+}

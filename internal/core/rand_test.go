@@ -1,0 +1,118 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/shapley"
+)
+
+func l1(a, b []int64) int64 {
+	var d int64
+	for i := range a {
+		diff := a[i] - b[i]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}
+
+// Theorem 5.6: for unit-size jobs, RAND with N = ⌈k²/ε²·ln(k/(1−λ))⌉
+// permutations yields ‖ψ−ψ*‖₁ ≤ ε·v* with probability λ. We check the
+// bound across several seeded runs; with λ = 0.9 an occasional single
+// failure is tolerated, more than one in eight runs is not.
+func TestRandFPRASBoundUnitJobs(t *testing.T) {
+	const eps, lambda = 0.3, 0.9
+	failures := 0
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(100 + seed))
+		k := 3
+		in := randCoreInstance(r, k, true)
+		horizon := in.Horizon() + 1
+		refRes := RefAlgorithm{}.Run(in, horizon, 0)
+		n := shapley.SampleSize(k, eps, lambda)
+		randRes := RandAlgorithm{Samples: n}.Run(in, horizon, seed)
+		if float64(l1(randRes.Psi, refRes.Psi)) > eps*float64(refRes.Value) {
+			failures++
+		}
+	}
+	if failures > 1 {
+		t.Fatalf("FPRAS bound violated in %d of 8 runs", failures)
+	}
+}
+
+// For unit jobs the sampled coalition values are schedule-independent
+// (Proposition 5.4), so RAND's φ estimate is the plain Monte-Carlo
+// Shapley estimate of the true game — with every permutation sampled
+// many times it converges to REF's exact φ.
+func TestRandPhiConvergesToExact(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	in := randCoreInstance(r, 3, true)
+	horizon := in.Horizon() + 1
+	refRes := RefAlgorithm{}.Run(in, horizon, 0)
+	randRes := RandAlgorithm{Samples: 4000}.Run(in, horizon, 7)
+	for u := range refRes.Phi {
+		diff := refRes.Phi[u] - randRes.Phi[u]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*float64(refRes.Value)+1 {
+			t.Errorf("φ[%d]: RAND %v vs REF %v", u, randRes.Phi[u], refRes.Phi[u])
+		}
+	}
+}
+
+func TestRandDeterministicPerSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := randCoreInstance(r, 4, false)
+	horizon := in.Horizon()
+	a := RandAlgorithm{Samples: 15}.Run(in, horizon, 5)
+	b := RandAlgorithm{Samples: 15}.Run(in, horizon, 5)
+	for i := range a.Starts {
+		if a.Starts[i] != b.Starts[i] {
+			t.Fatalf("RAND with equal seeds diverged at start %d", i)
+		}
+	}
+	c := RandAlgorithm{Samples: 15}.Run(in, horizon, 6)
+	if len(c.Starts) != len(a.Starts) {
+		t.Fatalf("different job counts across seeds: %d vs %d", len(c.Starts), len(a.Starts))
+	}
+}
+
+// All algorithms schedule every job eventually: at a generous horizon
+// the executed units equal the total work.
+func TestAllAlgorithmsCompleteAllJobs(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	in := randCoreInstance(r, 3, false)
+	horizon := in.Horizon() + 1
+	algs := []Algorithm{
+		RefAlgorithm{},
+		RandAlgorithm{Samples: 10},
+		DirectContrAlgorithm(),
+	}
+	for _, a := range algs {
+		res := a.Run(in, horizon, 1)
+		if res.Ptot != int64(in.TotalWork()) {
+			t.Errorf("%s executed %d units, want %d", a.Name(), res.Ptot, in.TotalWork())
+		}
+		if len(res.Starts) != len(in.Jobs) {
+			t.Errorf("%s started %d jobs, want %d", a.Name(), len(res.Starts), len(in.Jobs))
+		}
+	}
+}
+
+func TestRandRejectsZeroSamples(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}},
+		[]model.Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RAND with zero samples must panic")
+		}
+	}()
+	NewRandSched(in, 0, 1)
+}

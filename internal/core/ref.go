@@ -1,0 +1,281 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// RefOptions tunes the reference algorithm.
+type RefOptions struct {
+	// Rotate enables the within-instant deficit rotation ablation: after
+	// each start, the chosen organization's standing is provisionally
+	// charged one unit (Δψ = 1) and every member's contribution is
+	// provisionally credited Δψ/‖C‖, following the Distance procedure of
+	// Figure 1. The faithful Figure 3 behaviour (default) recomputes
+	// φ and ψ only once per time moment.
+	Rotate bool
+	// Parallel advances the 2^k−1 subcoalition clusters on worker
+	// goroutines between events. The result is identical to the serial
+	// run; only wall-clock time changes.
+	Parallel bool
+	// Workers bounds the parallel worker count; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Ref is Algorithm REF: the exact, exponential (FPT in the number of
+// organizations, Corollary 3.5) fair scheduler. It is the fairness
+// reference every other algorithm is measured against.
+type Ref struct {
+	inst  *model.Instance
+	k     int
+	grand model.Coalition
+	opts  RefOptions
+
+	sims    []*sim.Cluster // indexed by coalition mask; [0] is nil
+	bySize  []model.Coalition
+	phi     [][]float64 // per mask: contribution vector
+	adj     [][]float64 // per mask: within-instant rotation adjustments
+	vals    []int64     // scratch: coalition values at the current event
+	weights [][]float64 // weights[c][s] = (s−1)!(c−s)!/c!
+}
+
+// NewRef builds the reference scheduler for the instance.
+func NewRef(inst *model.Instance, opts RefOptions) *Ref {
+	k := len(inst.Orgs)
+	r := &Ref{
+		inst:    inst,
+		k:       k,
+		grand:   model.Grand(k),
+		opts:    opts,
+		sims:    make([]*sim.Cluster, 1<<uint(k)),
+		phi:     make([][]float64, 1<<uint(k)),
+		adj:     make([][]float64, 1<<uint(k)),
+		vals:    make([]int64, 1<<uint(k)),
+		weights: shapleyWeightTable(k),
+	}
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		r.sims[mask] = sim.New(inst, mask, &refPolicy{r: r, mask: mask}, nil)
+		r.phi[mask] = make([]float64, k)
+		r.adj[mask] = make([]float64, k)
+	}
+	// Size-ordered masks: the paper completes schedules for smaller
+	// coalitions first (their values feed the larger ones' φ).
+	for s := 1; s <= k; s++ {
+		for mask := model.Coalition(1); mask <= r.grand; mask++ {
+			if mask.Size() == s {
+				r.bySize = append(r.bySize, mask)
+			}
+		}
+	}
+	return r
+}
+
+// shapleyWeightTable precomputes w[c][s] = (s−1)!·(c−s)!/c! — the weight
+// of the marginal term v(S) − v(S∖{u}) for |S| = s inside a coalition of
+// size c (the UpdateVals weights of Figure 1).
+func shapleyWeightTable(k int) [][]float64 {
+	fact := make([]float64, k+1)
+	fact[0] = 1
+	for i := 1; i <= k; i++ {
+		fact[i] = fact[i-1] * float64(i)
+	}
+	w := make([][]float64, k+1)
+	for c := 1; c <= k; c++ {
+		w[c] = make([]float64, c+1)
+		for s := 1; s <= c; s++ {
+			w[c][s] = fact[s-1] * fact[c-s] / fact[c]
+		}
+	}
+	return w
+}
+
+// Run drives every subcoalition schedule to the horizon and returns the
+// grand coalition's result, with exact Shapley contributions.
+func (r *Ref) Run(until model.Time) *Result {
+	for {
+		t := sim.MaxTime
+		for mask := model.Coalition(1); mask <= r.grand; mask++ {
+			if e := r.sims[mask].NextEventTime(); e < t {
+				t = e
+			}
+		}
+		if t == sim.MaxTime || t > until {
+			break
+		}
+		r.advanceAll(t)
+		r.dispatchAll()
+	}
+	r.advanceAll(until)
+	grand := r.sims[r.grand]
+	r.refreshValues()
+	r.computePhi(r.grand)
+	phi := append([]float64(nil), r.phi[r.grand]...)
+	return resultFromCluster(r.Name(), grand, until, phi)
+}
+
+// Name implements Algorithm (via RefAlgorithm); exported here for
+// symmetric reporting.
+func (r *Ref) Name() string { return "REF" }
+
+// advanceAll moves every subcoalition cluster to time t.
+func (r *Ref) advanceAll(t model.Time) {
+	if !r.opts.Parallel {
+		for mask := model.Coalition(1); mask <= r.grand; mask++ {
+			r.sims[mask].AdvanceTo(t)
+		}
+		return
+	}
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var wg sync.WaitGroup
+	total := int(r.grand)
+	chunk := (total + workers - 1) / workers
+	for lo := 1; lo <= total; lo += chunk {
+		hi := lo + chunk
+		if hi > total+1 {
+			hi = total + 1
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for mask := lo; mask < hi; mask++ {
+				c := r.sims[mask]
+				c.AdvanceTo(t)
+				c.Flush() // accrual work happens on the worker
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// refreshValues snapshots every coalition's value at the current time.
+func (r *Ref) refreshValues() {
+	r.vals[0] = 0
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		r.vals[mask] = r.sims[mask].Value()
+	}
+}
+
+// dispatchAll lets every coalition with a free machine and waiting jobs
+// schedule, smallest coalitions first (Figure 1's FairAlgorithm loop).
+// Coalition values at the current instant are unaffected by same-instant
+// starts (a job started at t has executed nothing before t), so one
+// value snapshot serves all coalitions.
+func (r *Ref) dispatchAll() {
+	any := false
+	for _, mask := range r.bySize {
+		if r.sims[mask].CanDispatch() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	r.refreshValues()
+	for _, mask := range r.bySize {
+		c := r.sims[mask]
+		if !c.CanDispatch() {
+			continue
+		}
+		r.computePhi(mask)
+		c.Dispatch()
+	}
+}
+
+// computePhi fills r.phi[mask] with the exact Shapley contributions of
+// the coalition's members, computed from the current subcoalition value
+// snapshot (the UpdateVals procedure of Figure 1). Rotation adjustments
+// are reset alongside.
+func (r *Ref) computePhi(mask model.Coalition) {
+	phi := r.phi[mask]
+	adj := r.adj[mask]
+	for i := range phi {
+		phi[i] = 0
+		adj[i] = 0
+	}
+	w := r.weights[mask.Size()]
+	mask.EachNonemptySubset(func(sub model.Coalition) {
+		vsub := r.vals[sub]
+		weight := w[sub.Size()]
+		sub.EachMember(func(u int) {
+			phi[u] += weight * float64(vsub-r.vals[sub.Without(u)])
+		})
+	})
+}
+
+// PhiOf returns the most recently computed contribution vector for a
+// coalition (valid after Run for the grand coalition, or mid-run for
+// any coalition that has dispatched).
+func (r *Ref) PhiOf(mask model.Coalition) []float64 {
+	return append([]float64(nil), r.phi[mask]...)
+}
+
+// ValueOf returns coalition mask's value at the cluster's current time.
+// The empty coalition has value 0.
+func (r *Ref) ValueOf(mask model.Coalition) int64 {
+	if mask.Empty() {
+		return 0
+	}
+	return r.sims[mask].Value()
+}
+
+// Cluster exposes a subcoalition's cluster (read-only use intended);
+// tests compare subcoalition schedules against independent simulations.
+func (r *Ref) Cluster(mask model.Coalition) *sim.Cluster { return r.sims[mask] }
+
+// refPolicy selects argmax(φ−ψ) among the coalition's waiting members —
+// the SelectAndSchedule rule of Figure 3, with deterministic low-index
+// tie-breaking.
+type refPolicy struct {
+	r    *Ref
+	mask model.Coalition
+	view *sim.View
+}
+
+// Name implements sim.Policy.
+func (p *refPolicy) Name() string { return "REF" }
+
+// Attach implements sim.Policy.
+func (p *refPolicy) Attach(v *sim.View, _ *rand.Rand) { p.view = v }
+
+// Select implements sim.Policy.
+func (p *refPolicy) Select(_ model.Time, _ int) int {
+	phi := p.r.phi[p.mask]
+	adj := p.r.adj[p.mask]
+	best := -1
+	var bestDeficit float64
+	p.mask.EachMember(func(u int) {
+		if p.view.Waiting(u) == 0 {
+			return
+		}
+		deficit := phi[u] + adj[u] - float64(p.view.Psi(u))
+		if best == -1 || deficit > bestDeficit {
+			best, bestDeficit = u, deficit
+		}
+	})
+	if p.r.opts.Rotate {
+		size := float64(p.mask.Size())
+		p.mask.EachMember(func(u int) { adj[u] += 1 / size })
+		adj[best]--
+	}
+	return best
+}
+
+// RefAlgorithm adapts Ref to the Algorithm interface (REF is
+// deterministic; the seed is ignored).
+type RefAlgorithm struct{ Opts RefOptions }
+
+// Name implements Algorithm.
+func (a RefAlgorithm) Name() string { return "REF" }
+
+// Run implements Algorithm.
+func (a RefAlgorithm) Run(inst *model.Instance, until model.Time, _ int64) *Result {
+	return NewRef(inst, a.Opts).Run(until)
+}

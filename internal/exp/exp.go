@@ -1,0 +1,229 @@
+// Package exp is the experiment harness for the paper's evaluation
+// (Section 7): it generates workload instances, runs the reference
+// algorithm REF and the compared algorithms on each, and aggregates the
+// unfairness measure Δψ/p_tot into the paper's table and figure
+// layouts.
+//
+// Instances run concurrently on a worker pool; aggregation is
+// deterministic (per-instance values are collected in index order
+// before summarizing), so a (config, seed) pair always reproduces the
+// same numbers.
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config describes one workload-family experiment.
+type Config struct {
+	Family gen.Family
+	// Orgs is the number of organizations (the paper uses 5 for the
+	// tables, 2..10 for Figure 10).
+	Orgs int
+	// MachineDist is "zipf" (the default, exponent ZipfExp) or
+	// "uniform" — how processors are split among organizations.
+	MachineDist string
+	ZipfExp     float64
+	Horizon     model.Time
+	Instances   int
+	Seed        int64
+	// Workers bounds the instance-level parallelism; 0 = GOMAXPROCS.
+	Workers int
+	RefOpts core.RefOptions
+}
+
+// DefaultConfig returns the tables' base configuration for a family:
+// 5 organizations, Zipf(1) machine split, horizon 5·10⁴.
+func DefaultConfig(f gen.Family) Config {
+	return Config{
+		Family:      f,
+		Orgs:        5,
+		MachineDist: "zipf",
+		ZipfExp:     1,
+		Horizon:     50000,
+		Instances:   20,
+		Seed:        1,
+	}
+}
+
+// DefaultAlgorithms returns the compared algorithms in the tables' row
+// order (Section 7.1). randSamples parameterizes RAND (the paper uses
+// 15 and 75).
+func DefaultAlgorithms(randSamples int) []core.Algorithm {
+	return []core.Algorithm{
+		core.FromPolicy("RoundRobin", func() sim.Policy { return baseline.NewRoundRobin() }),
+		core.RandAlgorithm{Samples: randSamples},
+		core.DirectContrAlgorithm(),
+		core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }),
+		core.FromPolicy("UtFairShare", func() sim.Policy { return baseline.NewUtFairShare() }),
+		core.FromPolicy("CurrFairShare", func() sim.Policy { return baseline.NewCurrFairShare() }),
+	}
+}
+
+// Cell is one aggregated table entry.
+type Cell struct {
+	Workload  string
+	Algorithm string
+	Summary   stats.Summary
+}
+
+// Table is a workloads × algorithms grid of unfairness summaries.
+type Table struct {
+	Workloads  []string
+	Algorithms []string
+	Cells      map[string]map[string]*stats.Summary // workload -> algorithm -> summary
+}
+
+func newTable() *Table {
+	return &Table{Cells: map[string]map[string]*stats.Summary{}}
+}
+
+func (t *Table) add(workload, alg string, values []float64) {
+	if t.Cells[workload] == nil {
+		t.Cells[workload] = map[string]*stats.Summary{}
+		t.Workloads = append(t.Workloads, workload)
+	}
+	s := &stats.Summary{}
+	for _, v := range values {
+		s.Add(v)
+	}
+	t.Cells[workload][alg] = s
+	found := false
+	for _, a := range t.Algorithms {
+		if a == alg {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Algorithms = append(t.Algorithms, alg)
+	}
+}
+
+// Get returns the summary for a (workload, algorithm) pair, or nil.
+func (t *Table) Get(workload, alg string) *stats.Summary {
+	if m := t.Cells[workload]; m != nil {
+		return m[alg]
+	}
+	return nil
+}
+
+// machineSplit distributes the family's processors over the
+// organizations per the config.
+func (cfg Config) machineSplit() []int {
+	if cfg.MachineDist == "uniform" {
+		return stats.UniformSplit(cfg.Family.Procs, cfg.Orgs)
+	}
+	exp := cfg.ZipfExp
+	if exp == 0 {
+		exp = 1
+	}
+	return stats.ZipfSplit(cfg.Family.Procs, cfg.Orgs, exp)
+}
+
+// RunUnfairness measures Δψ/p_tot for every algorithm over
+// cfg.Instances generated instances. The returned matrix is indexed
+// [algorithm][instance].
+func RunUnfairness(cfg Config, algs []core.Algorithm) ([][]float64, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Instances {
+		workers = cfg.Instances
+	}
+	values := make([][]float64, len(algs))
+	for i := range values {
+		values[i] = make([]float64, cfg.Instances)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				if err := runInstance(cfg, algs, idx, values); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for idx := 0; idx < cfg.Instances; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return values, firstErr
+}
+
+// runInstance generates instance idx, computes the REF reference and
+// fills values[alg][idx] for every algorithm.
+func runInstance(cfg Config, algs []core.Algorithm, idx int, values [][]float64) error {
+	seed := cfg.Seed + int64(idx)*1009
+	rng := stats.NewRand(seed)
+	inst, err := cfg.Family.Instance(cfg.Horizon, cfg.Orgs, cfg.machineSplit(), rng)
+	if err != nil {
+		return fmt.Errorf("exp: instance %d: %w", idx, err)
+	}
+	refRes := core.RefAlgorithm{Opts: cfg.RefOpts}.Run(inst, cfg.Horizon, seed)
+	for a, alg := range algs {
+		res := alg.Run(inst, cfg.Horizon, seed*31+int64(a))
+		values[a][idx] = metrics.UnfairnessPerUnit(res.Psi, refRes.Psi, refRes.Ptot)
+	}
+	return nil
+}
+
+// UnfairnessTable runs the full table experiment: every family config
+// against every algorithm (Tables 1 and 2 of the paper, depending on
+// the configs' horizon).
+func UnfairnessTable(cfgs []Config, algs []core.Algorithm) (*Table, error) {
+	t := newTable()
+	for _, cfg := range cfgs {
+		vals, err := RunUnfairness(cfg, algs)
+		if err != nil {
+			return nil, err
+		}
+		for a, alg := range algs {
+			t.add(cfg.Family.Name, alg.Name(), vals[a])
+		}
+	}
+	return t, nil
+}
+
+// OrgCountSweep is the Figure 10 experiment: unfairness as a function
+// of the number of organizations, on one family.
+func OrgCountSweep(base Config, orgCounts []int, algs []core.Algorithm) (*Table, error) {
+	t := newTable()
+	for _, k := range orgCounts {
+		cfg := base
+		cfg.Orgs = k
+		vals, err := RunUnfairness(cfg, algs)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("k=%d", k)
+		for a, alg := range algs {
+			t.add(label, alg.Name(), vals[a])
+		}
+	}
+	return t, nil
+}

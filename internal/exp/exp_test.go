@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// tinyFamily is a scaled-down workload so the end-to-end pipeline stays
+// fast in unit tests.
+func tinyFamily() gen.Family {
+	f := gen.LPCEGEE().Scale(0.15) // ~10 procs, ~8 users
+	f.Name = "tiny"
+	return f
+}
+
+func tinyConfig() Config {
+	cfg := DefaultConfig(tinyFamily())
+	cfg.Horizon = 3000
+	cfg.Instances = 4
+	cfg.Orgs = 3
+	cfg.Workers = 2
+	return cfg
+}
+
+func TestRunUnfairnessPipeline(t *testing.T) {
+	cfg := tinyConfig()
+	algs := DefaultAlgorithms(10)
+	vals, err := RunUnfairness(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != len(algs) {
+		t.Fatalf("algorithms = %d", len(vals))
+	}
+	for a := range vals {
+		if len(vals[a]) != cfg.Instances {
+			t.Fatalf("instances = %d", len(vals[a]))
+		}
+		for i, v := range vals[a] {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("%s instance %d: unfairness %v", algs[a].Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestRunUnfairnessDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	algs := DefaultAlgorithms(5)
+	a, err := RunUnfairness(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 1 // parallelism must not change results
+	b, err := RunUnfairness(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("value [%d][%d] differs across worker counts: %v vs %v", i, j, a[i][j], b[i][j])
+			}
+		}
+	}
+}
+
+func TestUnfairnessTableAndRender(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Instances = 2
+	table, err := UnfairnessTable([]Config{cfg}, DefaultAlgorithms(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Workloads) != 1 || len(table.Algorithms) != 6 {
+		t.Fatalf("table shape: %v × %v", table.Workloads, table.Algorithms)
+	}
+	out := table.Render("Table test")
+	for _, alg := range table.Algorithms {
+		if !strings.Contains(out, alg) {
+			t.Errorf("rendered table missing %q:\n%s", alg, out)
+		}
+	}
+	if !strings.Contains(out, "tiny") || !strings.Contains(out, "St.dev") {
+		t.Errorf("rendered table malformed:\n%s", out)
+	}
+}
+
+func TestOrgCountSweep(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Instances = 2
+	table, err := OrgCountSweep(cfg, []int{2, 3}, DefaultAlgorithms(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Workloads) != 2 || table.Workloads[0] != "k=2" || table.Workloads[1] != "k=3" {
+		t.Fatalf("sweep labels: %v", table.Workloads)
+	}
+	out := table.RenderSeries("Figure 10 test")
+	if !strings.Contains(out, "k=2") || !strings.Contains(out, "RoundRobin") {
+		t.Errorf("series render malformed:\n%s", out)
+	}
+}
+
+func TestFigure2Values(t *testing.T) {
+	r := Figure2()
+	if r.Psi13 != 262 {
+		t.Errorf("ψ(13) = %d, want 262", r.Psi13)
+	}
+	if r.Psi14 != 297 {
+		t.Errorf("ψ(14) = %d, want 297", r.Psi14)
+	}
+	if r.Flow14 != 70 {
+		t.Errorf("flow = %d, want 70", r.Flow14)
+	}
+	if !strings.Contains(r.Gantt, "M0") || !strings.Contains(r.Legend, "O2") {
+		t.Error("figure 2 rendering incomplete")
+	}
+}
+
+func TestFigure7Values(t *testing.T) {
+	r := Figure7()
+	if r.UtilizationO2First != 1.0 {
+		t.Errorf("O2-first utilization = %v, want 1.0", r.UtilizationO2First)
+	}
+	if r.UtilizationO1First != 0.75 {
+		t.Errorf("O1-first utilization = %v, want 0.75", r.UtilizationO1First)
+	}
+	if !strings.Contains(r.GanttO1First, ".") {
+		t.Error("O1-first Gantt shows no idle time")
+	}
+	if strings.Contains(strings.SplitN(r.GanttO2First, "\n", 2)[1], ".") {
+		t.Error("O2-first Gantt shows idle time on machine 0")
+	}
+}
+
+func TestFormatVal(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		0.014:  "0.014",
+		1.3:    "1.30",
+		26:     "26.0",
+		2839.4: "2839",
+	}
+	for v, want := range cases {
+		if got := formatVal(v); got != want {
+			t.Errorf("formatVal(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// The qualitative headline of the paper: ROUNDROBIN is much less fair
+// than the Shapley-aware algorithms on a loaded workload. Run a small
+// but non-trivial configuration and check the ordering.
+func TestRoundRobinLeastFair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ordering check needs a loaded workload; skip in -short")
+	}
+	f := gen.RICC().Scale(0.1) // ~26 procs
+	f.Name = "ricc-tiny"
+	cfg := DefaultConfig(f)
+	cfg.Horizon = 10000
+	cfg.Instances = 6
+	cfg.Workers = 0
+	algs := DefaultAlgorithms(15)
+	vals, err := RunUnfairness(cfg, algs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(a int) float64 {
+		var s float64
+		for _, v := range vals[a] {
+			s += v
+		}
+		return s / float64(len(vals[a]))
+	}
+	rr := mean(0)     // RoundRobin
+	randM := mean(1)  // Rand(N=15)
+	direct := mean(2) // DirectContr
+	if rr <= randM || rr <= direct {
+		t.Errorf("expected RoundRobin least fair: RR=%.2f Rand=%.2f Direct=%.2f", rr, randM, direct)
+	}
+}

@@ -1,0 +1,81 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render prints the table in the paper's layout: one row per algorithm,
+// one Avg/StDev column pair per workload.
+func (t *Table) Render(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	colw := 11
+	fmt.Fprintf(&b, "%-16s", "")
+	for _, w := range t.Workloads {
+		fmt.Fprintf(&b, " | %-*s", 2*colw+1, w)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-16s", "Algorithm")
+	for range t.Workloads {
+		fmt.Fprintf(&b, " | %*s %*s", colw, "Avg", colw, "St.dev")
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 16+len(t.Workloads)*(2*colw+4)) + "\n")
+	for _, alg := range t.Algorithms {
+		fmt.Fprintf(&b, "%-16s", alg)
+		for _, w := range t.Workloads {
+			s := t.Get(w, alg)
+			if s == nil {
+				fmt.Fprintf(&b, " | %*s %*s", colw, "-", colw, "-")
+				continue
+			}
+			fmt.Fprintf(&b, " | %*s %*s", colw, formatVal(s.Mean), colw, formatVal(s.Std()))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSeries prints the table as one series per algorithm over the
+// workload axis — the Figure 10 layout (x = number of organizations).
+func (t *Table) RenderSeries(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s", "Algorithm")
+	for _, w := range t.Workloads {
+		fmt.Fprintf(&b, " %10s", w)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 16+len(t.Workloads)*11) + "\n")
+	for _, alg := range t.Algorithms {
+		fmt.Fprintf(&b, "%-16s", alg)
+		for _, w := range t.Workloads {
+			s := t.Get(w, alg)
+			if s == nil {
+				fmt.Fprintf(&b, " %10s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %10s", formatVal(s.Mean))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// formatVal renders a value the way the paper's tables do: small values
+// keep decimals, large ones round to integers.
+func formatVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 0.1:
+		return fmt.Sprintf("%.3f", v)
+	case v < 10:
+		return fmt.Sprintf("%.2f", v)
+	case v < 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

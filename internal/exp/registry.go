@@ -1,0 +1,35 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AlgorithmByName resolves a command-line algorithm name. randSamples
+// parameterizes "rand"; refOpts parameterizes "ref".
+func AlgorithmByName(name string, randSamples int, refOpts core.RefOptions) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "ref":
+		return core.RefAlgorithm{Opts: refOpts}, nil
+	case "rand":
+		return core.RandAlgorithm{Samples: randSamples}, nil
+	case "directcontr", "direct":
+		return core.DirectContrAlgorithm(), nil
+	case "fairshare":
+		return core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }), nil
+	case "utfairshare":
+		return core.FromPolicy("UtFairShare", func() sim.Policy { return baseline.NewUtFairShare() }), nil
+	case "currfairshare":
+		return core.FromPolicy("CurrFairShare", func() sim.Policy { return baseline.NewCurrFairShare() }), nil
+	case "roundrobin", "rr":
+		return core.FromPolicy("RoundRobin", func() sim.Policy { return baseline.NewRoundRobin() }), nil
+	case "fcfs":
+		return core.FromPolicy("FCFS", func() sim.Policy { return baseline.NewFCFS() }), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (want ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin or fcfs)", name)
+	}
+}

@@ -1,0 +1,53 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	names := []string{"ref", "rand", "directcontr", "direct", "fairshare",
+		"utfairshare", "currfairshare", "roundrobin", "rr", "fcfs", "REF", "FairShare"}
+	for _, n := range names {
+		alg, err := AlgorithmByName(n, 15, core.RefOptions{})
+		if err != nil {
+			t.Errorf("AlgorithmByName(%q): %v", n, err)
+			continue
+		}
+		if alg.Name() == "" {
+			t.Errorf("%q resolved to unnamed algorithm", n)
+		}
+	}
+	if _, err := AlgorithmByName("nope", 15, core.RefOptions{}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("unknown algorithm accepted: %v", err)
+	}
+}
+
+func TestFamilyByName(t *testing.T) {
+	cases := map[string]string{
+		"lpc-egee":       "LPC-EGEE",
+		"LPC EGEE":       "LPC-EGEE",
+		"lpc":            "LPC-EGEE",
+		"pik_iplex":      "PIK-IPLEX",
+		"pik":            "PIK-IPLEX",
+		"sharcnet-whale": "SHARCNET-Whale",
+		"whale":          "SHARCNET-Whale",
+		"ricc":           "RICC",
+	}
+	for in, want := range cases {
+		f, err := gen.FamilyByName(in)
+		if err != nil {
+			t.Errorf("FamilyByName(%q): %v", in, err)
+			continue
+		}
+		if f.Name != want {
+			t.Errorf("FamilyByName(%q) = %s, want %s", in, f.Name, want)
+		}
+	}
+	if _, err := gen.FamilyByName("kraken"); err == nil {
+		t.Error("unknown family accepted")
+	}
+}

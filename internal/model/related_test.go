@@ -1,0 +1,76 @@
+package model
+
+import "testing"
+
+func TestOrgSpeedAndCapacity(t *testing.T) {
+	plain := Org{Name: "A", Machines: 3}
+	if plain.Speed(0) != 1 || plain.Speed(2) != 1 {
+		t.Error("default speed must be 1")
+	}
+	if plain.Capacity() != 3 {
+		t.Errorf("Capacity = %d", plain.Capacity())
+	}
+	fast := Org{Name: "B", Machines: 2, Speeds: []int{4, 1}}
+	if fast.Speed(0) != 4 || fast.Speed(1) != 1 {
+		t.Error("explicit speeds misread")
+	}
+	if fast.Capacity() != 5 {
+		t.Errorf("Capacity = %d", fast.Capacity())
+	}
+}
+
+func TestInstanceTotalCapacity(t *testing.T) {
+	in := MustNewInstance(
+		[]Org{
+			{Name: "A", Machines: 2, Speeds: []int{3, 2}},
+			{Name: "B", Machines: 1},
+		},
+		[]Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	if got := in.TotalCapacity(); got != 6 {
+		t.Errorf("TotalCapacity = %d", got)
+	}
+	if got := in.TotalMachines(); got != 3 {
+		t.Errorf("TotalMachines = %d", got)
+	}
+}
+
+func TestValidateSpeeds(t *testing.T) {
+	bad := Instance{Orgs: []Org{{Name: "A", Machines: 2, Speeds: []int{1, 2, 3}}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("length-mismatched speeds accepted")
+	}
+	bad2 := Instance{Orgs: []Org{{Name: "A", Machines: 1, Speeds: []int{-1}}}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative speed accepted")
+	}
+}
+
+func TestCloneDeepCopiesSpeeds(t *testing.T) {
+	in := MustNewInstance(
+		[]Org{{Name: "A", Machines: 1, Speeds: []int{2}}},
+		[]Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	cp := in.Clone()
+	cp.Orgs[0].Speeds[0] = 99
+	if in.Orgs[0].Speeds[0] == 99 {
+		t.Fatal("Clone shares the Speeds slice")
+	}
+}
+
+func TestRestrictClearsSpeeds(t *testing.T) {
+	in := MustNewInstance(
+		[]Org{
+			{Name: "A", Machines: 1, Speeds: []int{2}},
+			{Name: "B", Machines: 1},
+		},
+		[]Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	sub := in.Restrict(Singleton(1))
+	if sub.Orgs[0].Machines != 0 || sub.Orgs[0].Speeds != nil {
+		t.Fatalf("non-member keeps machines/speeds: %+v", sub.Orgs[0])
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+// Package parjobs is the rigid parallel-jobs extension sketched in the
+// paper's Sections 6 and 8: jobs may require several processors
+// simultaneously ("our fair scheduling algorithm is also applicable for
+// parallel jobs; however, the loss of the global efficiency of an
+// arbitrary greedy algorithm can be higher").
+//
+// The package provides a small dedicated simulator for rigid jobs —
+// width-w jobs occupy w machines for their whole duration, organizations
+// keep FIFO order, and greedy dispatch starts the first fitting head —
+// plus the ψsp valuation for parallel jobs (a width-w job is w·p unit
+// pieces). Its tests construct the starvation witness showing that
+// Theorem 6.2's 3/4 utilization bound does not survive parallel jobs.
+package parjobs
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// Job is a rigid parallel job: it needs Width machines simultaneously
+// for Size time units.
+type Job struct {
+	ID      int
+	Org     int
+	Release model.Time
+	Size    model.Time
+	Width   int
+}
+
+// Instance is a parallel-jobs scheduling problem on a pool of identical
+// machines. FIFO order per organization follows job positions.
+type Instance struct {
+	Machines int
+	Orgs     int
+	Jobs     []Job
+}
+
+// Validate checks the structural invariants.
+func (in *Instance) Validate() error {
+	if in.Machines < 1 {
+		return fmt.Errorf("parjobs: %d machines", in.Machines)
+	}
+	if in.Orgs < 1 {
+		return fmt.Errorf("parjobs: %d organizations", in.Orgs)
+	}
+	for i, j := range in.Jobs {
+		if j.ID != i {
+			return fmt.Errorf("parjobs: job %d has ID %d", i, j.ID)
+		}
+		if j.Org < 0 || j.Org >= in.Orgs {
+			return fmt.Errorf("parjobs: job %d references org %d", i, j.Org)
+		}
+		if j.Size < 1 || j.Width < 1 || j.Width > in.Machines {
+			return fmt.Errorf("parjobs: job %d has size %d width %d", i, j.Size, j.Width)
+		}
+		if j.Release < 0 {
+			return fmt.Errorf("parjobs: job %d released at %d", i, j.Release)
+		}
+		if i > 0 && in.Jobs[i-1].Release > j.Release {
+			return fmt.Errorf("parjobs: jobs not sorted by release at %d", i)
+		}
+	}
+	return nil
+}
+
+// Start records one scheduling decision.
+type Start struct {
+	Job int
+	At  model.Time
+}
+
+// Result is a finished simulation.
+type Result struct {
+	Instance *Instance
+	Starts   []Start
+	Horizon  model.Time
+}
+
+// Simulate runs greedy rigid-job scheduling with a fixed organization
+// priority order: at every event, organizations are scanned in priority
+// order and an organization's head job starts whenever enough machines
+// are free. Heads that do not fit block their own queue (no
+// backfilling — jobs of an organization must start in FIFO order,
+// Section 2).
+func Simulate(in *Instance, priority []int, until model.Time) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if len(priority) != in.Orgs {
+		return nil, fmt.Errorf("parjobs: priority order has %d entries for %d orgs", len(priority), in.Orgs)
+	}
+	res := &Result{Instance: in, Horizon: until}
+	queues := make([][]int, in.Orgs)
+	next := 0
+	free := in.Machines
+	type running struct {
+		end   model.Time
+		width int
+	}
+	var active []running
+	now := model.Time(0)
+	for {
+		// Next event: earliest completion or release after/at now.
+		event := model.Time(-1)
+		if next < len(in.Jobs) {
+			event = in.Jobs[next].Release
+		}
+		for _, r := range active {
+			if event < 0 || r.end < event {
+				event = r.end
+			}
+		}
+		if event < 0 || event > until {
+			break
+		}
+		now = event
+		// Completions at now.
+		keep := active[:0]
+		for _, r := range active {
+			if r.end <= now {
+				free += r.width
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		active = keep
+		// Releases at now.
+		for next < len(in.Jobs) && in.Jobs[next].Release <= now {
+			j := in.Jobs[next]
+			queues[j.Org] = append(queues[j.Org], j.ID)
+			next++
+		}
+		// Greedy dispatch: keep starting fitting heads in priority order.
+		for {
+			started := false
+			for _, org := range priority {
+				if len(queues[org]) == 0 {
+					continue
+				}
+				j := in.Jobs[queues[org][0]]
+				if j.Width <= free {
+					queues[org] = queues[org][1:]
+					free -= j.Width
+					active = append(active, running{end: now + j.Size, width: j.Width})
+					res.Starts = append(res.Starts, Start{Job: j.ID, At: now})
+					started = true
+				}
+			}
+			if !started {
+				break
+			}
+		}
+	}
+	sort.Slice(res.Starts, func(a, b int) bool {
+		if res.Starts[a].At != res.Starts[b].At {
+			return res.Starts[a].At < res.Starts[b].At
+		}
+		return res.Starts[a].Job < res.Starts[b].Job
+	})
+	return res, nil
+}
+
+// BusyUnits returns the machine·time units consumed before t: each
+// started job contributes width × executed slots.
+func (r *Result) BusyUnits(t model.Time) int64 {
+	var total int64
+	for _, s := range r.Starts {
+		j := r.Instance.Jobs[s.Job]
+		total += int64(j.Width) * utility.ExecutedUnits(s.At, j.Size, t)
+	}
+	return total
+}
+
+// Utilization returns the used fraction of machine capacity before t.
+func (r *Result) Utilization(t model.Time) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(r.BusyUnits(t)) / (float64(r.Instance.Machines) * float64(t))
+}
+
+// Psi returns an organization's ψsp at t: a width-w job is w·p unit
+// pieces, so its value is w times the sequential value of its window.
+func (r *Result) Psi(org int, t model.Time) int64 {
+	var total int64
+	for _, s := range r.Starts {
+		j := r.Instance.Jobs[s.Job]
+		if j.Org != org {
+			continue
+		}
+		total += int64(j.Width) * utility.PsiJob(s.At, j.Size, t)
+	}
+	return total
+}

@@ -1,0 +1,412 @@
+// Package sim is the event-driven simulator of one coalition's cluster:
+// identical machines contributed by the member organizations, per-
+// organization FIFO job queues, greedy non-preemptive dispatch through a
+// pluggable Policy, and exact integer ψsp accounting per job owner and
+// per machine owner.
+//
+// The engine exposes two driving styles:
+//
+//   - Run(until): self-driving loop for standalone policies
+//     (round-robin, fair share, DIRECTCONTR, …).
+//   - NextEventTime / AdvanceTo / Dispatch: the primitives the REF and
+//     RAND drivers use to keep 2^k−1 coalition clusters in lockstep and
+//     interleave Shapley computations between event processing and
+//     dispatch.
+//
+// Greediness (no machine idles while a job waits) is an engine
+// invariant, not a policy obligation: the dispatch loop keeps starting
+// jobs while both a free machine and a waiting job exist.
+//
+// Utility accounting is lazy: execution windows of running jobs are
+// folded into the ψsp accounts only at completions and at value queries
+// (Flush), so advancing a cluster through an uneventful period costs
+// O(1). This matters to the exponential REF driver, which advances up to
+// 2^k−1 clusters per global event but queries values only at dispatch
+// instants.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/utility"
+)
+
+// MaxTime is the sentinel returned by NextEventTime when no event will
+// ever occur again.
+const MaxTime = model.Time(math.MaxInt64)
+
+// Start records one scheduling decision: job (by ID) started at At on
+// Machine.
+type Start struct {
+	Job     int
+	Org     int
+	Machine int
+	At      model.Time
+}
+
+// Cluster simulates one coalition. Create with New; the zero value is
+// not usable.
+type Cluster struct {
+	inst *model.Instance
+	coal model.Coalition
+
+	owners         []int // machine -> owning org
+	speeds         []int // machine -> work units per time unit
+	capacity       int64 // Σ speeds
+	machinesPerOrg []int
+	capacityPerOrg []int64
+	free           []int // free machine IDs, sorted at dispatch
+	running        runHeap
+
+	releaseOrder []int // job IDs of members, by (Release, ID)
+	nextRelease  int
+	queues       [][]int // per-org FIFO of job IDs
+	qHead        []int
+	totalWaiting int
+
+	runningPerOrg []int
+
+	now       model.Time
+	flushedAt model.Time
+	orgAcct   []utility.Account // per job owner
+	ownAcct   []utility.Account // per machine owner
+	total     utility.Account
+
+	policy Policy
+	rng    *rand.Rand
+	starts []Start
+}
+
+// New builds a cluster for the given coalition of the instance, driven
+// by the policy. rng may be nil when the policy is deterministic.
+func New(inst *model.Instance, coal model.Coalition, p Policy, rng *rand.Rand) *Cluster {
+	k := len(inst.Orgs)
+	c := &Cluster{
+		inst:           inst,
+		coal:           coal,
+		machinesPerOrg: make([]int, k),
+		capacityPerOrg: make([]int64, k),
+		queues:         make([][]int, k),
+		qHead:          make([]int, k),
+		runningPerOrg:  make([]int, k),
+		orgAcct:        make([]utility.Account, k),
+		ownAcct:        make([]utility.Account, k),
+		policy:         p,
+		rng:            rng,
+	}
+	for org := 0; org < k; org++ {
+		if !coal.Has(org) {
+			continue
+		}
+		o := inst.Orgs[org]
+		c.machinesPerOrg[org] = o.Machines
+		c.capacityPerOrg[org] = o.Capacity()
+		c.capacity += o.Capacity()
+		for i := 0; i < o.Machines; i++ {
+			m := len(c.owners)
+			c.owners = append(c.owners, org)
+			c.speeds = append(c.speeds, o.Speed(i))
+			c.free = append(c.free, m)
+		}
+	}
+	for _, j := range inst.Jobs {
+		if coal.Has(j.Org) {
+			c.releaseOrder = append(c.releaseOrder, j.ID)
+		}
+	}
+	if p != nil {
+		p.Attach(&View{c}, rng)
+	}
+	return c
+}
+
+// Policy returns the driving policy.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// Coalition returns the simulated coalition.
+func (c *Cluster) Coalition() model.Coalition { return c.coal }
+
+// Instance returns the instance being simulated. It is a driver-level
+// accessor; policies see only the non-clairvoyant View.
+func (c *Cluster) Instance() *model.Instance { return c.inst }
+
+// Now returns the current simulation time.
+func (c *Cluster) Now() model.Time { return c.now }
+
+// View returns a read-only view of the cluster (the same one policies
+// receive).
+func (c *Cluster) View() *View { return &View{c} }
+
+// NextEventTime returns the earliest future release or completion, or
+// MaxTime when neither exists.
+func (c *Cluster) NextEventTime() model.Time {
+	next := MaxTime
+	if c.nextRelease < len(c.releaseOrder) {
+		next = c.inst.Jobs[c.releaseOrder[c.nextRelease]].Release
+	}
+	if len(c.running) > 0 && c.running[0].end < next {
+		next = c.running[0].end
+	}
+	return next
+}
+
+// AdvanceTo moves the clock to t, processing every release and
+// completion with time ≤ t, but performs no dispatch. External drivers
+// must advance event by event (t = the global minimum NextEventTime) so
+// that no dispatch opportunity is skipped; Run and Step do this
+// automatically.
+func (c *Cluster) AdvanceTo(t model.Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%d) before current time %d", t, c.now))
+	}
+	for len(c.running) > 0 && c.running[0].end <= t {
+		top := c.running.pop()
+		c.account(top, top.end)
+		c.free = append(c.free, top.machine)
+		c.runningPerOrg[c.inst.Jobs[top.job].Org]--
+	}
+	c.now = t
+	c.releaseUpTo(t)
+}
+
+// account folds the entry's execution window [accFrom, upTo) into the
+// owner accounts, scaled by the machine's speed.
+func (c *Cluster) account(r runEntry, upTo model.Time) {
+	if upTo <= r.accFrom {
+		return
+	}
+	j := c.inst.Jobs[r.job]
+	q := c.speeds[r.machine]
+	c.orgAcct[j.Org].AddScaledWindow(r.start, j.Size, q, r.accFrom, upTo)
+	c.ownAcct[c.owners[r.machine]].AddScaledWindow(r.start, j.Size, q, r.accFrom, upTo)
+	c.total.AddScaledWindow(r.start, j.Size, q, r.accFrom, upTo)
+}
+
+// Flush folds the partial execution of still-running jobs into the
+// accounts up to the current time. Value queries call it implicitly;
+// parallel drivers may call it explicitly to move the accrual work onto
+// worker goroutines.
+func (c *Cluster) Flush() {
+	if c.flushedAt == c.now {
+		return
+	}
+	for i := range c.running {
+		r := &c.running[i]
+		c.account(*r, c.now) // running entries always satisfy end > now
+		r.accFrom = c.now
+	}
+	c.flushedAt = c.now
+}
+
+// releaseUpTo enqueues every job with Release ≤ t.
+func (c *Cluster) releaseUpTo(t model.Time) {
+	for c.nextRelease < len(c.releaseOrder) {
+		id := c.releaseOrder[c.nextRelease]
+		j := c.inst.Jobs[id]
+		if j.Release > t {
+			return
+		}
+		c.queues[j.Org] = append(c.queues[j.Org], id)
+		c.totalWaiting++
+		c.nextRelease++
+	}
+}
+
+// CanDispatch reports whether the cluster currently has both a free
+// machine and a waiting job, i.e. Dispatch would start at least one job.
+func (c *Cluster) CanDispatch() bool { return c.totalWaiting > 0 && len(c.free) > 0 }
+
+// Dispatch runs the greedy loop at the current instant: while a free
+// machine and a waiting job exist, ask the policy and start the job.
+func (c *Cluster) Dispatch() {
+	if c.totalWaiting == 0 || len(c.free) == 0 {
+		return
+	}
+	sort.Ints(c.free)
+	if mo, ok := c.policy.(MachineOrderer); ok {
+		mo.OrderMachines(c.now, c.free)
+	}
+	used := 0
+	for _, m := range c.free {
+		if c.totalWaiting == 0 {
+			break
+		}
+		org := c.policy.Select(c.now, m)
+		c.startHead(org, m)
+		used++
+	}
+	c.free = c.free[used:]
+}
+
+// startHead starts org's head job on machine m at the current time.
+func (c *Cluster) startHead(org int, m int) {
+	if len(c.queues[org])-c.qHead[org] == 0 {
+		panic(fmt.Sprintf("sim: policy %q selected organization %d with no waiting jobs", c.policy.Name(), org))
+	}
+	id := c.queues[org][c.qHead[org]]
+	c.qHead[org]++
+	// Compact the queue occasionally so memory does not grow unbounded.
+	if c.qHead[org] > 64 && c.qHead[org]*2 > len(c.queues[org]) {
+		c.queues[org] = append(c.queues[org][:0], c.queues[org][c.qHead[org]:]...)
+		c.qHead[org] = 0
+	}
+	c.totalWaiting--
+	j := c.inst.Jobs[id]
+	q := model.Time(c.speeds[m])
+	dur := (j.Size + q - 1) / q
+	c.running.push(runEntry{end: c.now + dur, machine: m, job: id, start: c.now, accFrom: c.now})
+	c.runningPerOrg[org]++
+	c.starts = append(c.starts, Start{Job: id, Org: org, Machine: m, At: c.now})
+	if so, ok := c.policy.(StartObserver); ok {
+		so.OnStart(c.now, j, m)
+	}
+}
+
+// Step processes the single earliest pending event: advance, notify,
+// dispatch. It reports whether an event existed at or before `until`.
+func (c *Cluster) Step(until model.Time) bool {
+	e := c.NextEventTime()
+	if e == MaxTime || e > until {
+		return false
+	}
+	c.AdvanceTo(e)
+	if eo, ok := c.policy.(EventObserver); ok {
+		eo.OnEvent(e)
+	}
+	c.Dispatch()
+	return true
+}
+
+// Run drives the simulation until no event remains at or before `until`,
+// then advances the clock to exactly `until` so that utilities are
+// evaluated at the experiment horizon. Run is resumable: calling it
+// again with a later horizon continues the same simulation.
+func (c *Cluster) Run(until model.Time) {
+	for c.Step(until) {
+	}
+	c.AdvanceTo(until)
+}
+
+// Psi returns organization org's ψsp at the current time.
+func (c *Cluster) Psi(org int) int64 {
+	c.Flush()
+	return c.orgAcct[org].PsiAt(c.now)
+}
+
+// PsiVector returns every organization's ψsp at the current time.
+func (c *Cluster) PsiVector() []int64 {
+	c.Flush()
+	out := make([]int64, len(c.orgAcct))
+	for i := range out {
+		out[i] = c.orgAcct[i].PsiAt(c.now)
+	}
+	return out
+}
+
+// Value returns the coalition value v(C, now) = Σ ψsp (Section 2).
+func (c *Cluster) Value() int64 {
+	c.Flush()
+	return c.total.PsiAt(c.now)
+}
+
+// ExecutedUnits returns the total executed unit slots before now — the
+// paper's p_tot when evaluated on the reference schedule.
+func (c *Cluster) ExecutedUnits() int64 {
+	c.Flush()
+	return c.total.U
+}
+
+// Starts returns the recorded scheduling decisions in start order.
+func (c *Cluster) Starts() []Start { return c.starts }
+
+// Placed converts the recorded schedule to utility.Placed records, for
+// the classic metrics. Only jobs of the given org are returned; pass a
+// negative org for all jobs. On related machines, Size is the realized
+// processing time ⌈p/q⌉ on the assigned machine (the paper's "p is a
+// function of the schedule"), so completion times stay correct.
+func (c *Cluster) Placed(org int) []utility.Placed {
+	var out []utility.Placed
+	for _, s := range c.starts {
+		if org >= 0 && s.Org != org {
+			continue
+		}
+		j := c.inst.Jobs[s.Job]
+		q := model.Time(c.speeds[s.Machine])
+		out = append(out, utility.Placed{Release: j.Release, Start: s.At, Size: (j.Size + q - 1) / q})
+	}
+	return out
+}
+
+// Utilization returns the fraction of work capacity (Σ machine speeds ×
+// time) used up to the current time.
+func (c *Cluster) Utilization() float64 {
+	if c.capacity == 0 || c.now == 0 {
+		return 0
+	}
+	c.Flush()
+	return float64(c.total.U) / (float64(c.capacity) * float64(c.now))
+}
+
+// runEntry is one executing job in the completion heap. accFrom is the
+// start of its not-yet-accounted execution window; start the job's
+// start time (needed to place the remainder slot on fast machines).
+type runEntry struct {
+	end     model.Time
+	machine int
+	job     int
+	start   model.Time
+	accFrom model.Time
+}
+
+// runHeap is a binary min-heap ordered by (end, machine) for
+// deterministic completion processing.
+type runHeap []runEntry
+
+func (h runHeap) less(i, j int) bool {
+	if h[i].end != h[j].end {
+		return h[i].end < h[j].end
+	}
+	return h[i].machine < h[j].machine
+}
+
+func (h *runHeap) push(e runEntry) {
+	*h = append(*h, e)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *runHeap) pop() runEntry {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// hookedPolicy exercises every optional policy extension at once.
+type hookedPolicy struct {
+	view    *View
+	events  []model.Time
+	started []int
+	ordered int
+}
+
+func (p *hookedPolicy) Name() string                 { return "hooked" }
+func (p *hookedPolicy) Attach(v *View, _ *rand.Rand) { p.view = v }
+func (p *hookedPolicy) OnEvent(t model.Time)         { p.events = append(p.events, t) }
+func (p *hookedPolicy) OnStart(_ model.Time, j model.Job, _ int) {
+	p.started = append(p.started, j.ID)
+}
+func (p *hookedPolicy) OrderMachines(_ model.Time, free []int) { p.ordered++ }
+
+func (p *hookedPolicy) Select(_ model.Time, _ int) int {
+	for org := 0; org < p.view.Orgs(); org++ {
+		if p.view.Waiting(org) > 0 {
+			return org
+		}
+	}
+	return -1
+}
+
+func TestPolicyHooks(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}},
+		[]model.Job{
+			{Org: 0, Release: 0, Size: 2},
+			{Org: 0, Release: 5, Size: 1},
+		},
+	)
+	p := &hookedPolicy{}
+	c := New(in, in.Grand(), p, nil)
+	c.Run(10)
+	// Events: release at 0, completion at 2, release at 5, completion 6.
+	want := []model.Time{0, 2, 5, 6}
+	if len(p.events) != len(want) {
+		t.Fatalf("OnEvent times = %v, want %v", p.events, want)
+	}
+	for i := range want {
+		if p.events[i] != want[i] {
+			t.Fatalf("OnEvent times = %v, want %v", p.events, want)
+		}
+	}
+	if len(p.started) != 2 || p.started[0] != 0 || p.started[1] != 1 {
+		t.Fatalf("OnStart jobs = %v", p.started)
+	}
+	if p.ordered == 0 {
+		t.Fatal("OrderMachines never called")
+	}
+}
+
+func TestNextEventTimeSentinel(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}},
+		[]model.Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	c := New(in, in.Grand(), orgPriority(0), nil)
+	c.Run(5)
+	if got := c.NextEventTime(); got != MaxTime {
+		t.Fatalf("NextEventTime after quiescence = %d, want MaxTime", got)
+	}
+	// Step past quiescence reports no events.
+	if c.Step(100) {
+		t.Fatal("Step found an event after quiescence")
+	}
+}
+
+func TestSelectFuncAdapter(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}},
+		[]model.Job{{Org: 0, Release: 0, Size: 1}},
+	)
+	p := &SelectFunc{PolicyName: "always-zero", F: func(v *View, _ model.Time, _ int) int {
+		if v == nil {
+			t.Fatal("view not attached")
+		}
+		return 0
+	}}
+	if p.Name() != "always-zero" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+	c := New(in, in.Grand(), p, nil)
+	c.Run(3)
+	if len(c.Starts()) != 1 {
+		t.Fatal("SelectFunc policy did not schedule")
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// randInstance builds a random small instance.
+func randInstance(r *rand.Rand, unitJobs bool) *model.Instance {
+	k := 1 + r.Intn(4)
+	orgs := make([]model.Org, k)
+	total := 0
+	for i := range orgs {
+		orgs[i] = model.Org{Name: string(rune('A' + i)), Machines: r.Intn(3)}
+		total += orgs[i].Machines
+	}
+	if total == 0 {
+		orgs[0].Machines = 1
+	}
+	n := 1 + r.Intn(25)
+	jobs := make([]model.Job, n)
+	for i := range jobs {
+		size := model.Time(1)
+		if !unitJobs {
+			size = model.Time(1 + r.Intn(9))
+		}
+		jobs[i] = model.Job{Org: r.Intn(k), Release: model.Time(r.Intn(20)), Size: size}
+	}
+	return model.MustNewInstance(orgs, jobs)
+}
+
+// randPolicy selects a waiting organization pseudo-randomly but
+// deterministically from its own seed; every such policy is greedy by
+// construction of the engine.
+func randPolicy(seed int64) Policy {
+	r := rand.New(rand.NewSource(seed))
+	return &SelectFunc{
+		PolicyName: "random",
+		F: func(v *View, _ model.Time, _ int) int {
+			var waiting []int
+			for org := 0; org < v.Orgs(); org++ {
+				if v.Waiting(org) > 0 {
+					waiting = append(waiting, org)
+				}
+			}
+			return waiting[r.Intn(len(waiting))]
+		},
+	}
+}
+
+// checkInvariants validates a finished simulation against the model's
+// structural rules.
+func checkInvariants(t *testing.T, in *model.Instance, c *Cluster) {
+	t.Helper()
+	starts := c.Starts()
+	// 1. Starts respect release times.
+	for _, s := range starts {
+		if s.At < in.Jobs[s.Job].Release {
+			t.Fatalf("job %d started at %d before release %d", s.Job, s.At, in.Jobs[s.Job].Release)
+		}
+	}
+	// 2. No overlap per machine.
+	perMachine := map[int][]Start{}
+	for _, s := range starts {
+		perMachine[s.Machine] = append(perMachine[s.Machine], s)
+	}
+	for m, ss := range perMachine {
+		for i := 1; i < len(ss); i++ {
+			prevEnd := ss[i-1].At + in.Jobs[ss[i-1].Job].Size
+			if ss[i].At < prevEnd {
+				t.Fatalf("machine %d overlap: job %d (ends %d) and job %d (starts %d)",
+					m, ss[i-1].Job, prevEnd, ss[i].Job, ss[i].At)
+			}
+		}
+	}
+	// 3. FIFO per organization: start order follows job ID order.
+	lastID := map[int]int{}
+	for _, s := range starts {
+		if prev, ok := lastID[s.Org]; ok && s.Job < prev {
+			t.Fatalf("org %d FIFO violated: job %d after %d", s.Org, s.Job, prev)
+		}
+		lastID[s.Org] = s.Job
+	}
+	// 4. Greediness: no machine idle interval may intersect any job's
+	// waiting interval [release, start).
+	type interval struct{ lo, hi model.Time }
+	horizon := c.Now()
+	var idles []interval
+	for m := 0; m < c.View().Machines(); m++ {
+		cur := model.Time(0)
+		for _, s := range perMachine[m] {
+			if s.At > cur {
+				idles = append(idles, interval{cur, s.At})
+			}
+			cur = s.At + in.Jobs[s.Job].Size
+		}
+		if cur < horizon {
+			idles = append(idles, interval{cur, horizon})
+		}
+	}
+	started := map[int]model.Time{}
+	for _, s := range starts {
+		started[s.Job] = s.At
+	}
+	for _, j := range in.Jobs {
+		if !c.Coalition().Has(j.Org) {
+			continue
+		}
+		lo := j.Release
+		hi, ok := started[j.ID]
+		if !ok {
+			hi = horizon
+		}
+		for _, idle := range idles {
+			a, b := lo, hi
+			if idle.lo > a {
+				a = idle.lo
+			}
+			if idle.hi < b {
+				b = idle.hi
+			}
+			if a < b {
+				t.Fatalf("greediness violated: job %d waited during machine idle [%d,%d)", j.ID, a, b)
+			}
+		}
+	}
+}
+
+func TestSimulatorInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstance(r, false)
+		c := New(in, in.Grand(), randPolicy(seed+1), stats.NewRand(seed+2))
+		c.Run(in.Horizon() + 5)
+		checkInvariants(t, in, c)
+		if got := len(c.Starts()); got != len(in.Jobs) {
+			t.Fatalf("only %d of %d jobs started by the horizon", got, len(in.Jobs))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Proposition 5.4: with unit-size jobs, every greedy algorithm yields the
+// same coalition value at every time moment.
+func TestUnitJobValueScheduleIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstance(r, true)
+		a := New(in, in.Grand(), randPolicy(seed+10), nil)
+		b := New(in, in.Grand(), randPolicy(seed+20), nil)
+		horizon := in.Horizon() + 3
+		for ti := model.Time(0); ti <= horizon; ti++ {
+			a.Run(ti)
+			b.Run(ti)
+			if a.Value() != b.Value() {
+				t.Fatalf("seed %d: values diverge at t=%d: %d vs %d", seed, ti, a.Value(), b.Value())
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Theorem 6.2: every greedy algorithm is 3/4-competitive for resource
+// utilization; in particular any two greedy schedules' executed-unit
+// counts at any time T are within a factor 4/3 of each other.
+func TestGreedyThreeQuartersCompetitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstance(r, false)
+		horizon := in.Horizon()
+		T := model.Time(1 + r.Int63n(int64(horizon)+1))
+		var busies []int64
+		for p := 0; p < 4; p++ {
+			c := New(in, in.Grand(), randPolicy(seed+int64(p)*7), nil)
+			c.Run(T)
+			busies = append(busies, c.ExecutedUnits())
+		}
+		lo, hi := busies[0], busies[0]
+		for _, b := range busies {
+			if b < lo {
+				lo = b
+			}
+			if b > hi {
+				hi = b
+			}
+		}
+		// 4·min ≥ 3·max ⇔ min/max ≥ 3/4.
+		if 4*lo < 3*hi {
+			t.Fatalf("seed %d: utilization ratio %d/%d < 3/4 at T=%d", seed, lo, hi, T)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The Figure 7 pair is exactly tight: ratio 3/4. Keep it as the extremal
+// witness for the bound above.
+func TestFigure7IsTight(t *testing.T) {
+	a := New(figure7Instance(), model.Grand(2), orgPriority(1, 0), nil)
+	a.Run(6)
+	b := New(figure7Instance(), model.Grand(2), orgPriority(0, 1), nil)
+	b.Run(6)
+	if 4*b.ExecutedUnits() != 3*a.ExecutedUnits() {
+		t.Fatalf("Figure 7 not tight: %d vs %d", b.ExecutedUnits(), a.ExecutedUnits())
+	}
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Policy decides, at each scheduling opportunity, which organization's
+// head job a free machine should take. Policies see the cluster only
+// through a View, which deliberately hides job sizes: the model is
+// non-clairvoyant (Section 2 of the paper).
+//
+// The engine calls Select only when at least one organization has a
+// waiting job; the returned organization must have one (the engine
+// panics otherwise — it is a programming error, not a runtime
+// condition).
+type Policy interface {
+	Name() string
+	// Attach is called once, before any event, handing the policy its
+	// read-only view of the cluster and a deterministic random source.
+	Attach(view *View, rng *rand.Rand)
+	// Select returns the organization whose head job starts now on the
+	// given machine.
+	Select(t model.Time, machine int) int
+}
+
+// MachineOrderer is an optional Policy extension: before the dispatch
+// loop consumes the free machines (sorted ascending), the policy may
+// reorder them in place. DIRECTCONTR uses this to visit processors in
+// random order, per Figure 9 of the paper.
+type MachineOrderer interface {
+	OrderMachines(t model.Time, free []int)
+}
+
+// StartObserver is an optional Policy extension notified after every job
+// start.
+type StartObserver interface {
+	OnStart(t model.Time, job model.Job, machine int)
+}
+
+// EventObserver is an optional Policy extension notified at every event
+// instant after accounting has been advanced and before dispatch.
+type EventObserver interface {
+	OnEvent(t model.Time)
+}
+
+// SelectFunc adapts a plain function (plus a name) to the Policy
+// interface; handy for tests and simple priority rules.
+type SelectFunc struct {
+	PolicyName string
+	F          func(v *View, t model.Time, machine int) int
+
+	view *View
+}
+
+// Name implements Policy.
+func (p *SelectFunc) Name() string { return p.PolicyName }
+
+// Attach implements Policy.
+func (p *SelectFunc) Attach(view *View, _ *rand.Rand) { p.view = view }
+
+// Select implements Policy.
+func (p *SelectFunc) Select(t model.Time, machine int) int { return p.F(p.view, t, machine) }
+
+// View is the read-only window a Policy gets onto a Cluster. All queries
+// are evaluated at the cluster's current time.
+type View struct{ c *Cluster }
+
+// Now returns the cluster's current time.
+func (v *View) Now() model.Time { return v.c.now }
+
+// Orgs returns the number of organizations in the instance (including
+// coalition non-members, which always show empty queues and no
+// machines).
+func (v *View) Orgs() int { return len(v.c.inst.Orgs) }
+
+// Coalition returns the coalition this cluster simulates.
+func (v *View) Coalition() model.Coalition { return v.c.coal }
+
+// Machines returns the number of machines in the coalition pool.
+func (v *View) Machines() int { return len(v.c.owners) }
+
+// MachineOwner returns the organization owning machine m.
+func (v *View) MachineOwner(m int) int { return v.c.owners[m] }
+
+// Waiting returns the number of released, not yet started jobs of org.
+func (v *View) Waiting(org int) int { return len(v.c.queues[org]) - v.c.qHead[org] }
+
+// TotalWaiting returns the number of waiting jobs across organizations.
+func (v *View) TotalWaiting() int { return v.c.totalWaiting }
+
+// Head returns the ID and release time of org's next job in FIFO order.
+// The job's size is deliberately not exposed (non-clairvoyance).
+func (v *View) Head(org int) (id int, release model.Time, ok bool) {
+	if v.Waiting(org) == 0 {
+		return 0, 0, false
+	}
+	j := v.c.inst.Jobs[v.c.queues[org][v.c.qHead[org]]]
+	return j.ID, j.Release, true
+}
+
+// Psi returns org's strategy-proof utility ψsp at the current time.
+func (v *View) Psi(org int) int64 {
+	v.c.Flush()
+	return v.c.orgAcct[org].PsiAt(v.c.now)
+}
+
+// Usage returns the number of unit slots executed so far by org's jobs —
+// the consumed-CPU-time notion of usage that fair-share policies meter.
+func (v *View) Usage(org int) int64 {
+	v.c.Flush()
+	return v.c.orgAcct[org].U
+}
+
+// OwnerPsi returns the ψsp-style value of the unit slots executed on
+// org's machines (by anyone's jobs) — DIRECTCONTR's direct contribution
+// estimate.
+func (v *View) OwnerPsi(org int) int64 {
+	v.c.Flush()
+	return v.c.ownAcct[org].PsiAt(v.c.now)
+}
+
+// OwnerUsage returns the unit slots executed on org's machines.
+func (v *View) OwnerUsage(org int) int64 {
+	v.c.Flush()
+	return v.c.ownAcct[org].U
+}
+
+// Running returns how many of org's jobs are currently executing.
+func (v *View) Running(org int) int { return v.c.runningPerOrg[org] }
+
+// Share returns org's fraction of the coalition's work capacity — the
+// target share used by the fair-share family (0 when the pool is
+// empty). With identical machines this is the fraction of processors
+// contributed, exactly as in Section 7.1; with related machines it is
+// speed-weighted.
+func (v *View) Share(org int) float64 {
+	if v.c.capacity == 0 {
+		return 0
+	}
+	return float64(v.c.capacityPerOrg[org]) / float64(v.c.capacity)
+}
+
+// MachineSpeed returns machine m's speed (1 on identical machines).
+func (v *View) MachineSpeed(m int) int { return v.c.speeds[m] }

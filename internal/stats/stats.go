@@ -1,0 +1,101 @@
+// Package stats provides the small statistical toolkit the experiments
+// need: seeded random sources, the distributions used by the workload
+// generator (Zipf machine splits, lognormal sizes, exponential gaps,
+// geometric burst lengths) and streaming mean/stddev summaries for table
+// aggregation.
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic random source for the given seed.
+// Every stochastic component of the module takes a *rand.Rand so that
+// experiments are exactly reproducible.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Summary accumulates a stream of observations with Welford's online
+// algorithm. The zero value is an empty summary.
+type Summary struct {
+	N    int
+	Mean float64
+	m2   float64
+	Min  float64
+	Max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.N++
+	if s.N == 1 {
+		s.Min, s.Max = x, x
+	} else {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	delta := x - s.Mean
+	s.Mean += delta / float64(s.N)
+	s.m2 += delta * (x - s.Mean)
+}
+
+// Std returns the sample standard deviation (n−1 denominator), or 0 for
+// fewer than two observations.
+func (s *Summary) Std() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return math.Sqrt(s.m2 / float64(s.N-1))
+}
+
+// Merge folds another summary into s (order-independent up to floating
+// point). Used to combine per-worker partial summaries.
+func (s *Summary) Merge(o Summary) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n1, n2 := float64(s.N), float64(o.N)
+	delta := o.Mean - s.Mean
+	total := n1 + n2
+	s.m2 += o.m2 + delta*delta*n1*n2/total
+	s.Mean += delta * n2 / total
+	s.N += o.N
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+}
+
+// LogNormal draws exp(N(mu, sigma²)).
+func LogNormal(r *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(r.NormFloat64()*sigma + mu)
+}
+
+// Exponential draws an exponential variate with the given mean.
+func Exponential(r *rand.Rand, mean float64) float64 {
+	return r.ExpFloat64() * mean
+}
+
+// Geometric draws a geometric variate with the given mean, always >= 1
+// (number of trials up to and including the first success).
+func Geometric(r *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() > p && n < 1<<20 {
+		n++
+	}
+	return n
+}

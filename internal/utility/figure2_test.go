@@ -1,0 +1,132 @@
+package utility
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Figure 2 of the paper: 9 jobs of organization O(1) and one size-5 job
+// of O(2) on 3 machines, all released at time 0. The reconstructed Gantt
+// (the unique layout consistent with every number quoted in the caption):
+//
+//	M1: J1(0,3)  J4(3,6)  J^2_1(9,5)
+//	M2: J2(0,4)  J6(4,6)  J9(10,4)
+//	M3: J3(0,3)  J5(3,3)  J8(6,3)  J7(9,3)
+var (
+	fig2Org1 = []Execution{
+		{Start: 0, Size: 3},  // J1
+		{Start: 0, Size: 4},  // J2
+		{Start: 0, Size: 3},  // J3
+		{Start: 3, Size: 6},  // J4
+		{Start: 3, Size: 3},  // J5
+		{Start: 4, Size: 6},  // J6
+		{Start: 9, Size: 3},  // J7
+		{Start: 6, Size: 3},  // J8
+		{Start: 10, Size: 4}, // J9
+	}
+	fig2Org2 = []Execution{{Start: 9, Size: 5}} // J^(2)_1
+)
+
+func TestFigure2UtilityAt13(t *testing.T) {
+	if got := Psi(fig2Org1, 13); got != 262 {
+		t.Errorf("ψsp(O1, 13) = %d, want 262 (paper, Figure 2)", got)
+	}
+}
+
+func TestFigure2UtilityAt14(t *testing.T) {
+	if got := Psi(fig2Org1, 14); got != 297 {
+		t.Errorf("ψsp(O1, 14) = %d, want 297 (paper, Figure 2)", got)
+	}
+}
+
+func TestFigure2FlowTime(t *testing.T) {
+	var placed []Placed
+	for _, e := range fig2Org1 {
+		placed = append(placed, Placed{Release: 0, Start: e.Start, Size: e.Size})
+	}
+	if got := TotalFlow(placed, 14); got != 70 {
+		t.Errorf("flow time at 14 = %d, want 70 (paper, Figure 2)", got)
+	}
+}
+
+// "If there was no job J^(2)_1, then J9 would be started in time 9
+// instead of 10 and the utility ψsp in time 14 would increase by 4."
+func TestFigure2EarlierJ9(t *testing.T) {
+	moved := append([]Execution(nil), fig2Org1...)
+	moved[8].Start = 9
+	delta := Psi(moved, 14) - Psi(fig2Org1, 14)
+	if delta != 4 {
+		t.Errorf("moving J9 to 9 changed ψsp by %d, want +4", delta)
+	}
+}
+
+// "If, for instance, J6 was started one time unit later, then the utility
+// of the schedule would decrease by 6."
+func TestFigure2LaterJ6(t *testing.T) {
+	moved := append([]Execution(nil), fig2Org1...)
+	moved[5].Start = 5
+	delta := Psi(moved, 14) - Psi(fig2Org1, 14)
+	if delta != -6 {
+		t.Errorf("delaying J6 changed ψsp by %d, want -6", delta)
+	}
+}
+
+// "If the job J9 was not scheduled at all, the utility ψsp would decrease
+// by 10."
+func TestFigure2WithoutJ9(t *testing.T) {
+	without := append([]Execution(nil), fig2Org1[:8]...)
+	delta := Psi(without, 14) - Psi(fig2Org1, 14)
+	if delta != -10 {
+		t.Errorf("dropping J9 changed ψsp by %d, want -10", delta)
+	}
+}
+
+// The whole system (both organizations) fits 3 machines with no overlap;
+// sanity-check the combined value and O2's share.
+func TestFigure2CombinedValue(t *testing.T) {
+	all := append(append([]Execution(nil), fig2Org1...), fig2Org2...)
+	sum := Psi(fig2Org1, 14) + Psi(fig2Org2, 14)
+	if got := Psi(all, 14); got != sum {
+		t.Errorf("additivity violated: %d != %d", got, sum)
+	}
+	if got := Psi(fig2Org2, 14); got != PsiJob(9, 5, 14) {
+		t.Errorf("O2 utility = %d", got)
+	}
+	// J^(2)_1 runs units 9..13 valued 5+4+3+2+1 = 15 at t=14.
+	if got := PsiJob(9, 5, 14); got != 15 {
+		t.Errorf("PsiJob(9,5,14) = %d, want 15", got)
+	}
+}
+
+func TestFigure2AccountMatchesDirect(t *testing.T) {
+	var acc Account
+	for _, e := range fig2Org1 {
+		end := e.Start + e.Size
+		if end > 14 {
+			end = 14
+		}
+		acc.AddWindow(e.Start, end)
+	}
+	if got := acc.PsiAt(14); got != 297 {
+		t.Errorf("Account ψ(14) = %d, want 297", got)
+	}
+	// Evaluating the same account at a later time shifts every unit by
+	// the elapsed amount: ψ(t+Δ) = ψ(t) + Δ·U.
+	if got := acc.PsiAt(20); got != 297+6*acc.U {
+		t.Errorf("Account ψ(20) = %d", got)
+	}
+}
+
+func TestFigure2IsValidModelInstance(t *testing.T) {
+	// The Figure 2 system expressed as a model.Instance must validate:
+	// this keeps the worked example usable by the simulator-level tests.
+	jobs := make([]model.Job, 0, 10)
+	for _, e := range fig2Org1 {
+		jobs = append(jobs, model.Job{Org: 0, Release: 0, Size: e.Size})
+	}
+	jobs = append(jobs, model.Job{Org: 1, Release: 0, Size: 5})
+	if _, err := model.NewInstance([]model.Org{{Name: "O1", Machines: 2}, {Name: "O2", Machines: 1}}, jobs); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package utility
+
+import "repro/internal/model"
+
+// Func is a pluggable utility function ψ: the value an organization
+// derives from the schedule of its own jobs, evaluated at a time moment.
+// The paper's framework (Section 3, Algorithm REF of Figure 1) accepts
+// any envy-free, non-clairvoyant ψ; Section 4 then argues only ψsp is
+// strategy-proof. Alternative utilities are provided for the general
+// algorithm and for demonstrating why they fail the axioms.
+//
+// Implementations must be non-clairvoyant: the value at time t may
+// depend only on execution that happened strictly before t plus the
+// identity of starts at or before t — never on the unexecuted remainder
+// of a job.
+type Func interface {
+	Name() string
+	Eval(execs []Execution, t model.Time) int64
+}
+
+// SP is the strategy-proof utility ψsp of Theorem 4.1 (Equation 3) —
+// the utility the paper's schedulers optimize.
+type SP struct{}
+
+// Name implements Func.
+func (SP) Name() string { return "psi_sp" }
+
+// Eval implements Func.
+func (SP) Eval(execs []Execution, t model.Time) int64 { return Psi(execs, t) }
+
+// Starts values a schedule by the number of jobs started by t. It
+// reacts instantly to scheduling decisions (Δψ = 1 at start time),
+// making it the simplest utility for which Figure 1's Distance
+// procedure is non-degenerate. It violates strategy-resistance:
+// splitting jobs inflates it.
+type Starts struct{}
+
+// Name implements Func.
+func (Starts) Name() string { return "starts" }
+
+// Eval implements Func.
+func (Starts) Eval(execs []Execution, t model.Time) int64 {
+	var n int64
+	for _, e := range execs {
+		if e.Start <= t {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletedWork values a schedule by its executed unit slots — the
+// resource-utilization utility mentioned in Section 2. It satisfies
+// strategy-resistance but not start-time anonymity (delaying costs
+// nothing once work completes before t).
+type CompletedWork struct{}
+
+// Name implements Func.
+func (CompletedWork) Name() string { return "completed_work" }
+
+// Eval implements Func.
+func (CompletedWork) Eval(execs []Execution, t model.Time) int64 {
+	var n int64
+	for _, e := range execs {
+		n += ExecutedUnits(e.Start, e.Size, t)
+	}
+	return n
+}

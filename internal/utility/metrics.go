@@ -1,0 +1,75 @@
+package utility
+
+import "repro/internal/model"
+
+// Placed is a job with its realized start, used by the classic metrics
+// that — unlike ψsp — need release times.
+type Placed struct {
+	Release model.Time
+	Start   model.Time
+	Size    model.Time
+}
+
+// Completion returns the job's completion time.
+func (p Placed) Completion() model.Time { return p.Start + p.Size }
+
+// TotalFlow returns the summed flow time (completion − release) of the
+// jobs completed by t. Flow time is the minimization objective the paper
+// compares ψsp against (Proposition 4.2); jobs still running at t are
+// excluded, mirroring the paper's Figure 2 accounting.
+func TotalFlow(placed []Placed, t model.Time) int64 {
+	var total int64
+	for _, p := range placed {
+		if c := p.Completion(); c <= t {
+			total += int64(c - p.Release)
+		}
+	}
+	return total
+}
+
+// Makespan returns the latest completion time, or 0 for an empty set.
+func Makespan(placed []Placed) model.Time {
+	var m model.Time
+	for _, p := range placed {
+		if c := p.Completion(); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// BusyUnits returns the number of machine·time units consumed before t:
+// the total executed unit slots across the placed jobs.
+func BusyUnits(placed []Placed, t model.Time) int64 {
+	var total int64
+	for _, p := range placed {
+		total += ExecutedUnits(p.Start, p.Size, t)
+	}
+	return total
+}
+
+// Utilization returns the fraction of machine capacity m·t used before t
+// (Definition in Section 6 of the paper). It returns 0 for t == 0 or
+// machines == 0.
+func Utilization(placed []Placed, machines int, t model.Time) float64 {
+	if machines <= 0 || t <= 0 {
+		return 0
+	}
+	return float64(BusyUnits(placed, t)) / (float64(machines) * float64(t))
+}
+
+// TotalTardiness returns Σ max(0, completion − due) over jobs completed
+// by t, with a single due date offset applied to each job's release
+// (release + slack). The paper lists tardiness as an alternative utility;
+// it is provided for completeness of the metric suite.
+func TotalTardiness(placed []Placed, slack, t model.Time) int64 {
+	var total int64
+	for _, p := range placed {
+		if c := p.Completion(); c <= t {
+			if late := c - (p.Release + slack); late > 0 {
+				total += int64(late)
+			}
+		}
+	}
+	return total
+}

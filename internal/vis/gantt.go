@@ -1,0 +1,70 @@
+// Package vis renders schedules as ASCII Gantt charts — the form the
+// paper's Figures 2 and 7 take. One row per machine, one column per
+// time-unit bucket, each job drawn with a stable letter.
+package vis
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Gantt renders the schedule up to `until`. Each machine is a row; jobs
+// are labelled a, b, c, … by start order (wrapping after 52 jobs); idle
+// time is '.'. width limits the number of character columns; each
+// column then covers ceil(until/width) time units and shows the job
+// occupying the column's first unit.
+func Gantt(inst *model.Instance, starts []sim.Start, machines int, until model.Time, width int) string {
+	if width <= 0 {
+		width = 80
+	}
+	cols := int(until)
+	unitsPerCol := model.Time(1)
+	if cols > width {
+		unitsPerCol = (until + model.Time(width) - 1) / model.Time(width)
+		cols = int((until + unitsPerCol - 1) / unitsPerCol)
+	}
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	rows := make([][]byte, machines)
+	for m := range rows {
+		rows[m] = []byte(strings.Repeat(".", cols))
+	}
+	for i, s := range starts {
+		if s.Machine >= machines {
+			continue
+		}
+		label := letters[i%len(letters)]
+		end := s.At + inst.Jobs[s.Job].Size
+		if end > until {
+			end = until
+		}
+		for t := s.At; t < end; t += unitsPerCol {
+			col := int(t / unitsPerCol)
+			if col < cols {
+				rows[s.Machine][col] = label
+			}
+		}
+	}
+	var b strings.Builder
+	header := fmt.Sprintf("t=0 .. t=%d (%d unit(s) per column)\n", until, unitsPerCol)
+	b.WriteString(header)
+	for m, row := range rows {
+		fmt.Fprintf(&b, "M%-2d |%s|\n", m, row)
+	}
+	return b.String()
+}
+
+// Legend lists each start with its label, organization, interval and
+// machine, matching Gantt's lettering.
+func Legend(inst *model.Instance, starts []sim.Start) string {
+	const letters = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	for i, s := range starts {
+		j := inst.Jobs[s.Job]
+		fmt.Fprintf(&b, "%c: org %s job#%d  [%d,%d) on M%d\n",
+			letters[i%len(letters)], inst.Orgs[s.Org].Name, s.Job, s.At, s.At+j.Size, s.Machine)
+	}
+	return b.String()
+}

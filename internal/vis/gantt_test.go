@@ -1,0 +1,88 @@
+package vis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func fig2() (*model.Instance, []sim.Start) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "O1", Machines: 2}, {Name: "O2", Machines: 1}},
+		[]model.Job{
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 4},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 6},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 6},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 4},
+			{Org: 1, Release: 0, Size: 5},
+		},
+	)
+	starts := []sim.Start{
+		{Job: 0, Org: 0, Machine: 0, At: 0},
+		{Job: 3, Org: 0, Machine: 0, At: 3},
+		{Job: 9, Org: 1, Machine: 0, At: 9},
+		{Job: 1, Org: 0, Machine: 1, At: 0},
+		{Job: 5, Org: 0, Machine: 1, At: 4},
+		{Job: 8, Org: 0, Machine: 1, At: 10},
+		{Job: 2, Org: 0, Machine: 2, At: 0},
+		{Job: 4, Org: 0, Machine: 2, At: 3},
+		{Job: 7, Org: 0, Machine: 2, At: 6},
+		{Job: 6, Org: 0, Machine: 2, At: 9},
+	}
+	return in, starts
+}
+
+func TestGanttFigure2(t *testing.T) {
+	in, starts := fig2()
+	out := Gantt(in, starts, 3, 14, 80)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Machine 0: aaa bbbbbb ccccc → 14 busy columns, no idle.
+	if strings.Contains(lines[1], ".") {
+		t.Errorf("M0 shows idle time: %s", lines[1])
+	}
+	// Machine 1: 4+6+4 = 14 busy columns.
+	if strings.Contains(lines[2], ".") {
+		t.Errorf("M1 shows idle time: %s", lines[2])
+	}
+	// Machine 2: 3+3+3+3 = 12 busy, 2 idle at the end.
+	if got := strings.Count(lines[3], "."); got != 2 {
+		t.Errorf("M2 idle columns = %d, want 2: %s", got, lines[3])
+	}
+}
+
+func TestGanttCompression(t *testing.T) {
+	in, starts := fig2()
+	out := Gantt(in, starts, 3, 14, 7)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 14 units over 7 columns → 2 units per column.
+	if !strings.Contains(lines[0], "2 unit(s) per column") {
+		t.Errorf("header = %s", lines[0])
+	}
+	if len(lines[1]) > len("M0  |")+7+1 {
+		t.Errorf("row too wide: %q", lines[1])
+	}
+}
+
+func TestLegend(t *testing.T) {
+	in, starts := fig2()
+	leg := Legend(in, starts)
+	if !strings.Contains(leg, "a: org O1 job#0  [0,3) on M0") {
+		t.Errorf("legend missing first entry:\n%s", leg)
+	}
+	if !strings.Contains(leg, "c: org O2 job#9  [9,14) on M0") {
+		t.Errorf("legend missing O2 entry:\n%s", leg)
+	}
+	if got := strings.Count(leg, "\n"); got != len(starts) {
+		t.Errorf("legend lines = %d, want %d", got, len(starts))
+	}
+}
