@@ -165,8 +165,11 @@ func BenchmarkFigure2(b *testing.B) {
 }
 
 // BenchmarkAblationREF compares the REF driver variants DESIGN.md calls
-// out: serial vs parallel subcoalition advancement, and the faithful
-// Figure 3 selection vs the Distance-style rotation.
+// out: the indexed event-heap driver vs the legacy full-scan driver,
+// serial vs parallel subcoalition advancement, and the faithful Figure 3
+// selection vs the Distance-style rotation. heap and scan produce
+// identical schedules (see TestHeapDriverMatchesScanDriver); only
+// wall-clock time differs.
 func BenchmarkAblationREF(b *testing.B) {
 	fam := gen.LPCEGEE().Scale(benchScale)
 	machines := stats.ZipfSplit(fam.Procs, benchOrgs, 1)
@@ -178,8 +181,10 @@ func BenchmarkAblationREF(b *testing.B) {
 		name string
 		opts core.RefOptions
 	}{
-		{"serial", core.RefOptions{}},
-		{"parallel", core.RefOptions{Parallel: true}},
+		{"heap/serial", core.RefOptions{}},
+		{"heap/parallel", core.RefOptions{Parallel: true}},
+		{"scan/serial", core.RefOptions{Driver: core.DriverScan}},
+		{"scan/parallel", core.RefOptions{Driver: core.DriverScan, Parallel: true}},
 		{"rotate", core.RefOptions{Rotate: true}},
 	}
 	for _, v := range variants {
@@ -193,22 +198,29 @@ func BenchmarkAblationREF(b *testing.B) {
 }
 
 // BenchmarkAblationREFScaling measures REF's FPT scaling in the number
-// of organizations (Proposition 3.4: O(k·3^k) per decision).
+// of organizations (Proposition 3.4: O(k·3^k) per decision) for both
+// drivers. The scan driver's per-event O(2^k) scan-and-advance overtakes
+// the dispatch work as k grows; the heap driver only touches the
+// clusters whose events fire, so its advantage widens with k (≥2× at
+// k = 8 is the DESIGN.md acceptance line).
 func BenchmarkAblationREFScaling(b *testing.B) {
 	fam := gen.LPCEGEE().Scale(0.2)
-	for k := 2; k <= 7; k++ {
-		k := k
-		b.Run(fmt.Sprintf("orgs=%d", k), func(b *testing.B) {
-			machines := stats.ZipfSplit(fam.Procs, k, 1)
-			inst, err := fam.Instance(5000, k, machines, stats.NewRand(4))
-			if err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				core.RefAlgorithm{}.Run(inst, 5000, 0)
-			}
-		})
+	drivers := []core.RefDriver{core.DriverHeap, core.DriverScan}
+	for k := 2; k <= 8; k++ {
+		for _, d := range drivers {
+			k, d := k, d
+			b.Run(fmt.Sprintf("orgs=%d/%s", k, d), func(b *testing.B) {
+				machines := stats.ZipfSplit(fam.Procs, k, 1)
+				inst, err := fam.Instance(5000, k, machines, stats.NewRand(4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					core.RefAlgorithm{Opts: core.RefOptions{Driver: d}}.Run(inst, 5000, 0)
+				}
+			})
+		}
 	}
 }
 
@@ -225,9 +237,33 @@ func BenchmarkAblationRandSamples(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationRandWorkers sweeps RAND's worker-pool size at a
+// fixed sample budget. Results are byte-identical across the sweep
+// (TestRandWorkerCountInvariance); only wall-clock time changes.
+func BenchmarkAblationRandWorkers(b *testing.B) {
+	fam := gen.LPCEGEE().Scale(benchScale)
+	machines := stats.ZipfSplit(fam.Procs, benchOrgs, 1)
+	inst, err := fam.Instance(benchHorizon1, benchOrgs, machines, stats.NewRand(6))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 0} {
+		alg := core.RandAlgorithm{Samples: 75, Opts: core.RandOptions{Workers: w}}
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=max"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg.Run(inst, benchHorizon1, int64(i))
+			}
+		})
+	}
+}
+
 // BenchmarkAblationShapley compares the generic Shapley evaluators on a
-// 14-player random game: exact, parallel exact, and Monte-Carlo with
-// the theorem's sample size.
+// 14-player random game: exact, parallel exact, and the two Monte-Carlo
+// samplers (plain and position-stratified) at the theorem's sample size.
 func BenchmarkAblationShapley(b *testing.B) {
 	const n = 14
 	rng := stats.NewRand(9)
@@ -251,6 +287,15 @@ func BenchmarkAblationShapley(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			shapley.Sample(g, n, r)
+		}
+	})
+	b.Run("SampleStratified", func(b *testing.B) {
+		// Same permutation budget as Sample: rounds·k ≈ SampleSize.
+		rounds := (shapley.SampleSize(n, 0.1, 0.95) + n - 1) / n
+		r := stats.NewRand(11)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shapley.SampleStratified(g, rounds, r)
 		}
 	})
 }

@@ -36,6 +36,9 @@ func main() {
 		horizon  = flag.Int64("horizon", 50000, "simulation horizon (time units)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		samples  = flag.Int("rand-n", 15, "RAND sample count")
+		strat    = flag.Bool("rand-stratified", false, "RAND: draw permutations in position-stratified rotations")
+		workers  = flag.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
+		driver   = flag.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
 		split    = flag.String("split", "zipf", "machine split among organizations: zipf | uniform")
 		machines = flag.Int("machines", 0, "total machines when using -swf (0 = #orgs)")
 		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
@@ -45,7 +48,10 @@ func main() {
 
 	inst, err := buildInstance(*swfPath, *family, *orgs, *split, *machines, model.Time(*horizon), *seed)
 	fail(err)
-	alg, err := exp.AlgorithmByName(*algName, *samples, core.RefOptions{Parallel: true})
+	refDriver, err := core.ParseRefDriver(*driver)
+	fail(err)
+	refOpts := core.RefOptions{Parallel: true, Workers: *workers, Driver: refDriver}
+	alg, err := exp.AlgorithmByName(*algName, *samples, refOpts, core.RandOptions{Workers: *workers, Stratified: *strat})
 	fail(err)
 
 	res := alg.Run(inst, model.Time(*horizon), *seed)
@@ -72,7 +78,7 @@ func main() {
 	w.Flush()
 
 	if *compare {
-		ref := core.RefAlgorithm{Opts: core.RefOptions{Parallel: true}}.Run(inst, model.Time(*horizon), *seed)
+		ref := core.RefAlgorithm{Opts: refOpts}.Run(inst, model.Time(*horizon), *seed)
 		fmt.Printf("\nREF reference value : %d\n", ref.Value)
 		fmt.Printf("Δψ (L1 distance)    : %d\n", metrics.DeltaPsi(res.Psi, ref.Psi))
 		fmt.Printf("Δψ/p_tot            : %.3f\n", metrics.UnfairnessPerUnit(res.Psi, ref.Psi, ref.Ptot))

@@ -40,13 +40,16 @@ func main() {
 		maxOrgs   = flag.Int("max-orgs", 7, "largest organization count for -fig10 (paper: 10)")
 		workers   = flag.Int("workers", 0, "parallel instance workers (0 = GOMAXPROCS)")
 		rotate    = flag.Bool("rotate", false, "use REF's within-instant rotation mode")
+		driver    = flag.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
 	)
 	flag.Parse()
 	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *all) {
 		flag.Usage()
 		os.Exit(2)
 	}
-	refOpts := core.RefOptions{Rotate: *rotate, Parallel: true}
+	refDriver, err := core.ParseRefDriver(*driver)
+	fail(err)
+	refOpts := core.RefOptions{Rotate: *rotate, Parallel: true, Driver: refDriver}
 	configs := func(horizon model.Time) []exp.Config {
 		var out []exp.Config
 		for _, f := range gen.Families() {

@@ -3,13 +3,69 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/baseline"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
+
+// RandOptions tunes Algorithm RAND's execution. Results are a pure
+// function of (instance, samples, seed): every sampled permutation is
+// drawn from its own SplitMix64-derived RNG stream and the sampled
+// coalition schedules are independent simulations, so any Workers value
+// produces byte-identical output.
+type RandOptions struct {
+	// Workers bounds the goroutines that draw permutations and advance
+	// the sampled coalition schedules; 0 means GOMAXPROCS, 1 runs
+	// serially.
+	Workers int
+	// Stratified draws the N permutations as cyclic rotations of
+	// ⌈N/k⌉ uniform base permutations (shapley.SampleStratified's
+	// scheme): when k divides N every organization appears at every
+	// predecessor-set size equally often (the last round is truncated
+	// otherwise), cutting the estimate's variance at an equal
+	// permutation budget. Each rotation of a uniform permutation is
+	// uniform, so the φ estimate stays unbiased for any N.
+	Stratified bool
+}
+
+func (o RandOptions) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachChunk splits [0, n) into contiguous chunks and runs fn on one
+// goroutine per chunk, blocking until all complete. With one worker (or
+// n ≤ 1) it runs inline.
+func forEachChunk(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // RandSched is Algorithm RAND (Figure 6): contributions are estimated by
 // sampling N permutations of the organizations; for every organization u
@@ -24,6 +80,7 @@ type RandSched struct {
 	k       int
 	samples int
 	grand   model.Coalition
+	opts    RandOptions
 
 	decision *sim.Cluster
 	masks    []model.Coalition // distinct sampled masks, ascending
@@ -34,8 +91,9 @@ type RandSched struct {
 
 // NewRandSched samples the permutations with the given seed and builds
 // FCFS clusters for every distinct sampled coalition (Prepare in
-// Figure 6).
-func NewRandSched(inst *model.Instance, samples int, seed int64) *RandSched {
+// Figure 6). Permutation s is drawn from stream (seed, s), so the
+// sampled set does not depend on the worker count.
+func NewRandSched(inst *model.Instance, samples int, seed int64, opts RandOptions) *RandSched {
 	if samples < 1 {
 		panic("core: RAND needs at least one sampled permutation")
 	}
@@ -45,18 +103,42 @@ func NewRandSched(inst *model.Instance, samples int, seed int64) *RandSched {
 		k:        k,
 		samples:  samples,
 		grand:    model.Grand(k),
+		opts:     opts,
 		clusters: make(map[model.Coalition]*sim.Cluster),
 		preds:    make([][]model.Coalition, k),
 		phi:      make([]float64, k),
 	}
-	rng := stats.NewRand(seed)
-	perm := make([]int, k)
-	for i := range perm {
-		perm[i] = i
-	}
+	workers := opts.workerCount()
+	perms := make([][]int, samples)
+	forEachChunk(workers, samples, func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			// Plain mode: permutation s comes from stream s. Stratified
+			// mode: s is rotation s%k of the base permutation from
+			// stream s/k (re-shuffling the k-element base per rotation
+			// is cheaper than sharing it across workers).
+			stream, shift := int64(s), 0
+			if opts.Stratified {
+				stream, shift = int64(s/k), s%k
+			}
+			rng := stats.NewStreamRand(seed, stream)
+			base := make([]int, k)
+			for i := range base {
+				base[i] = i
+			}
+			rng.Shuffle(k, func(i, j int) { base[i], base[j] = base[j], base[i] })
+			if shift == 0 {
+				perms[s] = base
+				continue
+			}
+			perm := make([]int, k)
+			for i := range perm {
+				perm[i] = base[(i+shift)%k]
+			}
+			perms[s] = perm
+		}
+	})
 	need := make(map[model.Coalition]bool)
-	for s := 0; s < samples; s++ {
-		rng.Shuffle(k, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	for _, perm := range perms {
 		var c model.Coalition
 		for _, u := range perm {
 			r.preds[u] = append(r.preds[u], c)
@@ -69,10 +151,18 @@ func NewRandSched(inst *model.Instance, samples int, seed int64) *RandSched {
 	}
 	for mask := range need {
 		r.masks = append(r.masks, mask)
-		r.clusters[mask] = sim.New(inst, mask, baseline.NewFCFS(), nil)
 	}
 	sort.Slice(r.masks, func(i, j int) bool { return r.masks[i] < r.masks[j] })
-	r.decision = sim.New(inst, r.grand, &randPolicy{r: r}, rng)
+	built := make([]*sim.Cluster, len(r.masks))
+	forEachChunk(workers, len(r.masks), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			built[i] = sim.New(inst, r.masks[i], baseline.NewFCFS(), nil)
+		}
+	})
+	for i, mask := range r.masks {
+		r.clusters[mask] = built[i]
+	}
+	r.decision = sim.New(inst, r.grand, &randPolicy{r: r}, stats.NewRand(seed))
 	return r
 }
 
@@ -90,26 +180,56 @@ func (r *RandSched) Run(until model.Time) *Result {
 		if t == sim.MaxTime || t > until {
 			break
 		}
-		for _, mask := range r.masks {
-			c := r.clusters[mask]
-			c.AdvanceTo(t)
-			c.Dispatch()
-		}
+		r.advanceSampled(t, true)
 		r.decision.AdvanceTo(t)
 		if r.decision.CanDispatch() {
 			r.computePhi()
 			r.decision.Dispatch()
 		}
 	}
-	for _, mask := range r.masks {
-		r.clusters[mask].AdvanceTo(until)
-	}
+	r.advanceSampled(until, false)
 	r.decision.AdvanceTo(until)
 	r.computePhi()
 	return resultFromCluster(r.name(), r.decision, until, append([]float64(nil), r.phi...))
 }
 
-func (r *RandSched) name() string { return fmt.Sprintf("Rand(N=%d)", r.samples) }
+// advanceSampled moves every sampled coalition schedule to time t,
+// optionally running its FCFS dispatch, fanned out over the worker
+// pool. The clusters share nothing, so the fan-out is deterministic.
+func (r *RandSched) advanceSampled(t model.Time, dispatch bool) {
+	workers := r.opts.workerCount()
+	if workers <= 1 || len(r.masks) < 16 {
+		for _, mask := range r.masks {
+			c := r.clusters[mask]
+			c.AdvanceTo(t)
+			if dispatch {
+				c.Dispatch()
+			}
+		}
+		return
+	}
+	forEachChunk(workers, len(r.masks), func(lo, hi int) {
+		for _, mask := range r.masks[lo:hi] {
+			c := r.clusters[mask]
+			c.AdvanceTo(t)
+			if dispatch {
+				c.Dispatch()
+			}
+			c.Flush() // accrual work happens on the worker
+		}
+	})
+}
+
+func (r *RandSched) name() string { return randName(r.samples, r.opts) }
+
+// randName labels a RAND configuration; shared by RandSched results and
+// RandAlgorithm so the two can never drift apart.
+func randName(samples int, opts RandOptions) string {
+	if opts.Stratified {
+		return fmt.Sprintf("Rand(N=%d,stratified)", samples)
+	}
+	return fmt.Sprintf("Rand(N=%d)", samples)
+}
 
 // value returns the sampled coalition's value at the current instant.
 func (r *RandSched) value(mask model.Coalition) int64 {
@@ -161,12 +281,15 @@ func (p *randPolicy) Select(_ model.Time, _ int) int {
 }
 
 // RandAlgorithm adapts RandSched to the Algorithm interface.
-type RandAlgorithm struct{ Samples int }
+type RandAlgorithm struct {
+	Samples int
+	Opts    RandOptions
+}
 
 // Name implements Algorithm.
-func (a RandAlgorithm) Name() string { return fmt.Sprintf("Rand(N=%d)", a.Samples) }
+func (a RandAlgorithm) Name() string { return randName(a.Samples, a.Opts) }
 
 // Run implements Algorithm.
 func (a RandAlgorithm) Run(inst *model.Instance, until model.Time, seed int64) *Result {
-	return NewRandSched(inst, a.Samples, seed).Run(until)
+	return NewRandSched(inst, a.Samples, seed, a.Opts).Run(until)
 }

@@ -65,6 +65,28 @@ func TestRandPhiConvergesToExact(t *testing.T) {
 	}
 }
 
+// Stratified RAND stays an unbiased estimator: for unit jobs (where
+// coalition values are schedule-independent, Proposition 5.4) a large
+// budget converges to REF's exact φ just like plain sampling — and each
+// full round of k rotations balances the position strata, so it may
+// only converge faster.
+func TestRandStratifiedPhiConvergesToExact(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	in := randCoreInstance(r, 3, true)
+	horizon := in.Horizon() + 1
+	refRes := RefAlgorithm{}.Run(in, horizon, 0)
+	randRes := RandAlgorithm{Samples: 4000, Opts: RandOptions{Stratified: true}}.Run(in, horizon, 7)
+	for u := range refRes.Phi {
+		diff := refRes.Phi[u] - randRes.Phi[u]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 0.05*float64(refRes.Value)+1 {
+			t.Errorf("φ[%d]: stratified RAND %v vs REF %v", u, randRes.Phi[u], refRes.Phi[u])
+		}
+	}
+}
+
 func TestRandDeterministicPerSeed(t *testing.T) {
 	r := rand.New(rand.NewSource(3))
 	in := randCoreInstance(r, 4, false)
@@ -114,5 +136,5 @@ func TestRandRejectsZeroSamples(t *testing.T) {
 			t.Fatal("RAND with zero samples must panic")
 		}
 	}()
-	NewRandSched(in, 0, 1)
+	NewRandSched(in, 0, 1, RandOptions{})
 }

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// RAND's output is a pure function of (instance, samples, seed): every
+// permutation comes from its own SplitMix64 stream and the sampled
+// clusters are independent, so any worker count must yield byte-identical
+// results — schedules, utilities, and bit-for-bit equal φ estimates.
+func TestRandWorkerCountInvariance(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		r := rand.New(rand.NewSource(700 + seed))
+		in := randCoreInstance(r, 4, false)
+		horizon := in.Horizon() + 1
+		stratified := seed%2 == 1 // cover both sampling schemes
+		base := RandAlgorithm{Samples: 20, Opts: RandOptions{Workers: 1, Stratified: stratified}}.Run(in, horizon, seed)
+		for _, workers := range []int{4, 16} {
+			got := RandAlgorithm{Samples: 20, Opts: RandOptions{Workers: workers, Stratified: stratified}}.Run(in, horizon, seed)
+			if len(got.Starts) != len(base.Starts) {
+				t.Fatalf("seed %d workers %d: start counts differ: %d vs %d", seed, workers, len(got.Starts), len(base.Starts))
+			}
+			for i := range base.Starts {
+				if got.Starts[i] != base.Starts[i] {
+					t.Fatalf("seed %d workers %d: start %d differs: %+v vs %+v", seed, workers, i, got.Starts[i], base.Starts[i])
+				}
+			}
+			for u := range base.Psi {
+				if got.Psi[u] != base.Psi[u] {
+					t.Fatalf("seed %d workers %d: ψ[%d] differs: %d vs %d", seed, workers, u, got.Psi[u], base.Psi[u])
+				}
+				if math.Float64bits(got.Phi[u]) != math.Float64bits(base.Phi[u]) {
+					t.Fatalf("seed %d workers %d: φ[%d] differs bitwise: %v vs %v", seed, workers, u, got.Phi[u], base.Phi[u])
+				}
+			}
+			if got.Value != base.Value || got.Ptot != base.Ptot {
+				t.Fatalf("seed %d workers %d: value/ptot differ", seed, workers)
+			}
+		}
+	}
+}
+
+// Invariance must also hold on a realistic workload large enough to
+// actually cross the parallel-advancement threshold (many sampled
+// coalitions, thousands of events).
+func TestRandWorkerCountInvarianceOnFamilyWorkload(t *testing.T) {
+	fam := gen.LPCEGEE().Scale(0.1)
+	const orgs, horizon = 5, 2000
+	machines := stats.ZipfSplit(fam.Procs, orgs, 1)
+	inst, err := fam.Instance(horizon, orgs, machines, stats.NewRand(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := RandAlgorithm{Samples: 30, Opts: RandOptions{Workers: 1}}.Run(inst, horizon, 3)
+	for _, workers := range []int{4, 16} {
+		got := RandAlgorithm{Samples: 30, Opts: RandOptions{Workers: workers}}.Run(inst, horizon, 3)
+		for i := range base.Starts {
+			if got.Starts[i] != base.Starts[i] {
+				t.Fatalf("workers %d: start %d differs", workers, i)
+			}
+		}
+		for u := range base.Phi {
+			if math.Float64bits(got.Phi[u]) != math.Float64bits(base.Phi[u]) {
+				t.Fatalf("workers %d: φ[%d] differs bitwise", workers, u)
+			}
+		}
+	}
+}

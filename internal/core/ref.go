@@ -1,16 +1,59 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/model"
 	"repro/internal/sim"
 )
 
+// RefDriver selects the event loop driving the 2^k−1 subcoalition
+// schedules.
+type RefDriver int
+
+const (
+	// DriverHeap (the default) keeps the coalitions in an indexed
+	// event min-heap and pops the globally earliest event, advancing
+	// and re-evaluating only the clusters that event touches; every
+	// other coalition's value is read from a cached ValuePoly in O(1).
+	DriverHeap RefDriver = iota
+	// DriverScan is the original reference loop: scan all 2^k−1 masks
+	// for the minimum event time and advance every cluster to it, then
+	// re-snapshot every coalition value at each dispatch instant. It
+	// is kept as the oracle for differential testing; schedules and φ
+	// are identical to DriverHeap's.
+	DriverScan
+)
+
+// ParseRefDriver resolves a command-line driver name.
+func ParseRefDriver(name string) (RefDriver, error) {
+	switch strings.ToLower(name) {
+	case "", "heap":
+		return DriverHeap, nil
+	case "scan":
+		return DriverScan, nil
+	default:
+		return 0, fmt.Errorf("unknown REF driver %q (want heap or scan)", name)
+	}
+}
+
+// String renders the driver name.
+func (d RefDriver) String() string {
+	if d == DriverScan {
+		return "scan"
+	}
+	return "heap"
+}
+
 // RefOptions tunes the reference algorithm.
 type RefOptions struct {
+	// Driver selects the event loop; see RefDriver. The zero value is
+	// the event-heap driver.
+	Driver RefDriver
 	// Rotate enables the within-instant deficit rotation ablation: after
 	// each start, the chosen organization's standing is provisionally
 	// charged one unit (Δψ = 1) and every member's contribution is
@@ -74,10 +117,24 @@ func NewRef(inst *model.Instance, opts RefOptions) *Ref {
 	return r
 }
 
-// shapleyWeightTable precomputes w[c][s] = (s−1)!·(c−s)!/c! — the weight
-// of the marginal term v(S) − v(S∖{u}) for |S| = s inside a coalition of
-// size c (the UpdateVals weights of Figure 1).
+// weightTables memoizes shapleyWeightTable across Ref instances: the
+// experiment harness builds thousands of Refs for the same handful of
+// organization counts, and the tables are immutable once built.
+var weightTables sync.Map // int (k) -> [][]float64
+
+// shapleyWeightTable returns w[c][s] = (s−1)!·(c−s)!/c! — the weight of
+// the marginal term v(S) − v(S∖{u}) for |S| = s inside a coalition of
+// size c (the UpdateVals weights of Figure 1). Tables are shared and
+// must not be mutated.
 func shapleyWeightTable(k int) [][]float64 {
+	if w, ok := weightTables.Load(k); ok {
+		return w.([][]float64)
+	}
+	w, _ := weightTables.LoadOrStore(k, buildWeightTable(k))
+	return w.([][]float64)
+}
+
+func buildWeightTable(k int) [][]float64 {
 	fact := make([]float64, k+1)
 	fact[0] = 1
 	for i := 1; i <= k; i++ {
@@ -96,6 +153,23 @@ func shapleyWeightTable(k int) [][]float64 {
 // Run drives every subcoalition schedule to the horizon and returns the
 // grand coalition's result, with exact Shapley contributions.
 func (r *Ref) Run(until model.Time) *Result {
+	if r.opts.Driver == DriverScan {
+		r.runScan(until)
+	} else {
+		r.runHeap(until)
+	}
+	r.advanceAll(until)
+	grand := r.sims[r.grand]
+	r.refreshValues()
+	r.computePhi(r.grand)
+	phi := append([]float64(nil), r.phi[r.grand]...)
+	return resultFromCluster(r.Name(), grand, until, phi)
+}
+
+// runScan is the original driver: every step scans all 2^k−1 masks for
+// the minimum event time, advances every cluster to it, and re-snapshots
+// every coalition value at each dispatch instant.
+func (r *Ref) runScan(until model.Time) {
 	for {
 		t := sim.MaxTime
 		for mask := model.Coalition(1); mask <= r.grand; mask++ {
@@ -109,12 +183,6 @@ func (r *Ref) Run(until model.Time) *Result {
 		r.advanceAll(t)
 		r.dispatchAll()
 	}
-	r.advanceAll(until)
-	grand := r.sims[r.grand]
-	r.refreshValues()
-	r.computePhi(r.grand)
-	phi := append([]float64(nil), r.phi[r.grand]...)
-	return resultFromCluster(r.Name(), grand, until, phi)
 }
 
 // Name implements Algorithm (via RefAlgorithm); exported here for
@@ -133,25 +201,13 @@ func (r *Ref) advanceAll(t model.Time) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	var wg sync.WaitGroup
-	total := int(r.grand)
-	chunk := (total + workers - 1) / workers
-	for lo := 1; lo <= total; lo += chunk {
-		hi := lo + chunk
-		if hi > total+1 {
-			hi = total + 1
+	forEachChunk(workers, int(r.grand), func(lo, hi int) {
+		for mask := lo + 1; mask <= hi; mask++ { // masks are 1-based
+			c := r.sims[mask]
+			c.AdvanceTo(t)
+			c.Flush() // accrual work happens on the worker
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for mask := lo; mask < hi; mask++ {
-				c := r.sims[mask]
-				c.AdvanceTo(t)
-				c.Flush() // accrual work happens on the worker
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	})
 }
 
 // refreshValues snapshots every coalition's value at the current time.

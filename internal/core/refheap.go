@@ -1,0 +1,214 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// runHeap is the event-heap driver (RefOptions.Driver == DriverHeap).
+//
+// The scan driver pays O(2^k) per global event just to find the next
+// event time, advances all 2^k−1 clusters to it, and flushes every
+// coalition's value at every dispatch instant. The heap driver keeps
+// the coalitions in an indexed min-heap keyed by NextEventTime and pops
+// exactly the clusters whose event fires at the current instant — the
+// "touched" set. Only touched clusters are advanced and re-snapshotted;
+// every other coalition's value is read in O(1) from its cached
+// ValuePoly, which stays exact until that cluster's own next event.
+//
+// Two engine invariants make this equivalent to the scan driver:
+//
+//  1. A cluster can become dispatchable only through one of its own
+//     events: Dispatch always exhausts either the free machines or the
+//     waiting queue, and only the cluster's own releases and
+//     completions replenish them. So dispatch candidates at time t are
+//     exactly the touched clusters.
+//  2. Jobs started at t have executed nothing before t, so coalition
+//     values at t are unaffected by same-instant starts — the lazily
+//     filled value snapshot serves every dispatching coalition at t, in
+//     any order.
+func (r *Ref) runHeap(until model.Time) {
+	n := int(r.grand) + 1
+	h := newEventHeap(n)
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
+			h.key[mask] = k
+			h.push(mask)
+		}
+	}
+	polys := make([]sim.ValuePoly, n)
+	stamp := make([]model.Time, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	touched := make([]model.Coalition, 0, n)
+	for h.size() > 0 {
+		t := h.minKey()
+		if t == sim.MaxTime || t > until {
+			break
+		}
+		touched = touched[:0]
+		for h.size() > 0 && h.minKey() == t {
+			touched = append(touched, h.pop())
+		}
+		r.advanceMasks(touched, t)
+		r.dispatchTouched(touched, t, polys, stamp)
+		for _, mask := range touched {
+			polys[mask] = r.sims[mask].ValuePoly()
+			if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
+				h.key[mask] = k
+				h.push(mask)
+			}
+		}
+	}
+}
+
+// advanceMasks moves the given clusters to time t, fanning out over
+// workers when the touched set is large enough to pay for it (releases
+// touch 2^(k−1) clusters at once; completions touch one).
+func (r *Ref) advanceMasks(masks []model.Coalition, t model.Time) {
+	workers := 1
+	if r.opts.Parallel && len(masks) >= 16 {
+		workers = r.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+	}
+	if workers <= 1 {
+		for _, mask := range masks {
+			r.sims[mask].AdvanceTo(t)
+		}
+		return
+	}
+	forEachChunk(workers, len(masks), func(lo, hi int) {
+		for _, mask := range masks[lo:hi] {
+			c := r.sims[mask]
+			c.AdvanceTo(t)
+			c.Flush() // accrual work happens on the worker
+		}
+	})
+}
+
+// dispatchTouched runs the Figure 1 dispatch loop over the touched set,
+// smallest coalitions first, filling the value snapshot lazily: a
+// subcoalition's value at t comes from its live cluster when the
+// cluster was touched at t, and from its cached polynomial otherwise.
+func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time, polys []sim.ValuePoly, stamp []model.Time) {
+	any := false
+	for _, mask := range touched {
+		if r.sims[mask].CanDispatch() {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return
+	}
+	sort.Slice(touched, func(i, j int) bool {
+		si, sj := touched[i].Size(), touched[j].Size()
+		if si != sj {
+			return si < sj
+		}
+		return touched[i] < touched[j]
+	})
+	r.vals[0] = 0
+	for _, mask := range touched {
+		c := r.sims[mask]
+		if !c.CanDispatch() {
+			continue
+		}
+		mask.EachNonemptySubset(func(sub model.Coalition) {
+			if stamp[sub] == t {
+				return
+			}
+			stamp[sub] = t
+			if r.sims[sub].Now() == t {
+				r.vals[sub] = r.sims[sub].Value()
+			} else {
+				r.vals[sub] = polys[sub].At(t)
+			}
+		})
+		r.computePhi(mask)
+		c.Dispatch()
+	}
+}
+
+// eventHeap is a binary min-heap of coalition masks keyed by next
+// event time, with the mask value as a deterministic tie-break. key is
+// indexed by mask; callers set key[mask] before push.
+type eventHeap struct {
+	key  []model.Time
+	heap []model.Coalition
+}
+
+func newEventHeap(n int) *eventHeap {
+	return &eventHeap{
+		key:  make([]model.Time, n),
+		heap: make([]model.Coalition, 0, n),
+	}
+}
+
+func (h *eventHeap) size() int { return len(h.heap) }
+
+func (h *eventHeap) minKey() model.Time { return h.key[h.heap[0]] }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.heap[i], h.heap[j]
+	if h.key[a] != h.key[b] {
+		return h.key[a] < h.key[b]
+	}
+	return a < b
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+}
+
+func (h *eventHeap) push(mask model.Coalition) {
+	h.heap = append(h.heap, mask)
+	h.up(len(h.heap) - 1)
+}
+
+func (h *eventHeap) pop() model.Coalition {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.swap(0, last)
+	h.heap = h.heap[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

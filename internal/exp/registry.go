@@ -10,13 +10,13 @@ import (
 )
 
 // AlgorithmByName resolves a command-line algorithm name. randSamples
-// parameterizes "rand"; refOpts parameterizes "ref".
-func AlgorithmByName(name string, randSamples int, refOpts core.RefOptions) (core.Algorithm, error) {
+// and randOpts parameterize "rand"; refOpts parameterizes "ref".
+func AlgorithmByName(name string, randSamples int, refOpts core.RefOptions, randOpts core.RandOptions) (core.Algorithm, error) {
 	switch strings.ToLower(name) {
 	case "ref":
 		return core.RefAlgorithm{Opts: refOpts}, nil
 	case "rand":
-		return core.RandAlgorithm{Samples: randSamples}, nil
+		return core.RandAlgorithm{Samples: randSamples, Opts: randOpts}, nil
 	case "directcontr", "direct":
 		return core.DirectContrAlgorithm(), nil
 	case "fairshare":

@@ -12,7 +12,7 @@ func TestAlgorithmByName(t *testing.T) {
 	names := []string{"ref", "rand", "directcontr", "direct", "fairshare",
 		"utfairshare", "currfairshare", "roundrobin", "rr", "fcfs", "REF", "FairShare"}
 	for _, n := range names {
-		alg, err := AlgorithmByName(n, 15, core.RefOptions{})
+		alg, err := AlgorithmByName(n, 15, core.RefOptions{}, core.RandOptions{})
 		if err != nil {
 			t.Errorf("AlgorithmByName(%q): %v", n, err)
 			continue
@@ -21,7 +21,7 @@ func TestAlgorithmByName(t *testing.T) {
 			t.Errorf("%q resolved to unnamed algorithm", n)
 		}
 	}
-	if _, err := AlgorithmByName("nope", 15, core.RefOptions{}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+	if _, err := AlgorithmByName("nope", 15, core.RefOptions{}, core.RandOptions{}); err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
 		t.Errorf("unknown algorithm accepted: %v", err)
 	}
 }

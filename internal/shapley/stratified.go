@@ -1,0 +1,48 @@
+package shapley
+
+import "math/rand"
+
+// SampleStratified estimates the Shapley value with position-stratified
+// permutation sampling: every round draws one uniform permutation and
+// evaluates all k of its cyclic rotations, so within a round each
+// player's marginal contribution is observed exactly once at every
+// position. Each rotation of a uniform permutation is itself uniform,
+// so the estimator stays unbiased (Equation 2), while the position
+// strata are perfectly balanced — the between-position variance
+// component that plain Sample leaves in is eliminated, which is the
+// dominant term when marginals depend mostly on predecessor-set size
+// (as the scheduling game's do: larger coalitions own more machines).
+//
+// The budget is rounds·k permutations; compare against Sample at an
+// equal permutation count. Like Marginals, every evaluated permutation
+// telescopes to v(grand), so the efficiency axiom Σφ = v(N) holds for
+// the estimate exactly, not just in expectation.
+func SampleStratified(g Game, rounds int, r *rand.Rand) []float64 {
+	k := g.Players()
+	phi := make([]float64, k)
+	if rounds <= 0 || k == 0 {
+		return phi
+	}
+	base := make([]int, k)
+	rot := make([]int, k)
+	for i := range base {
+		base[i] = i
+	}
+	for round := 0; round < rounds; round++ {
+		r.Shuffle(k, func(i, j int) { base[i], base[j] = base[j], base[i] })
+		for shift := 0; shift < k; shift++ {
+			for i := range rot {
+				rot[i] = base[(i+shift)%k]
+			}
+			m := Marginals(g, rot)
+			for u := range phi {
+				phi[u] += m[u]
+			}
+		}
+	}
+	inv := 1 / float64(rounds*k)
+	for u := range phi {
+		phi[u] *= inv
+	}
+	return phi
+}

@@ -291,6 +291,49 @@ func (c *Cluster) Run(until model.Time) {
 	c.AdvanceTo(until)
 }
 
+// ValuePoly is the coalition value frozen as a closed-form function of
+// the evaluation time: with flushed account totals (U, S) and the
+// running set {(qᵣ, aᵣ)} of machine speeds and not-yet-accounted window
+// starts,
+//
+//	v(t) = t·U − S + Σᵣ qᵣ·(t−aᵣ)(t−aᵣ+1)/2.
+//
+// The form is exact for any t in [Now, NextEventTime): past that, a
+// completion may cut a running job's final (remainder) slot short or a
+// release may precede a dispatch, so callers must re-snapshot after
+// every event or start in the cluster. The event-heap REF driver caches
+// one ValuePoly per coalition and re-snapshots only dirty clusters —
+// the untouched 2^k−O(1) coalitions cost O(1) per value query instead
+// of an O(#running) flush.
+type ValuePoly struct {
+	U, S    int64 // flushed ψsp account totals
+	A, B, C int64 // Σq, Σq·a, Σq·a² over running entries
+}
+
+// At evaluates the polynomial at time t ≥ the snapshot time. The
+// numerator Σ q(t−a)(t−a+1) is a sum of products of consecutive
+// integers, hence even — the division is exact.
+func (p ValuePoly) At(t model.Time) int64 {
+	tt := int64(t)
+	return tt*p.U - p.S + (p.A*tt*tt+(p.A-2*p.B)*tt+(p.C-p.B))/2
+}
+
+// ValuePoly snapshots the value function at the cluster's current
+// state. It does not mutate the cluster, so concurrent snapshots of
+// distinct clusters are safe.
+func (c *Cluster) ValuePoly() ValuePoly {
+	p := ValuePoly{U: c.total.U, S: c.total.S}
+	for i := range c.running {
+		r := &c.running[i]
+		q := int64(c.speeds[r.machine])
+		a := int64(r.accFrom)
+		p.A += q
+		p.B += q * a
+		p.C += q * a * a
+	}
+	return p
+}
+
 // Psi returns organization org's ψsp at the current time.
 func (c *Cluster) Psi(org int) int64 {
 	c.Flush()

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// lowOrgPolicy starts the waiting job of the lowest-index organization —
+// the minimal deterministic policy (baseline would import sim back).
+type lowOrgPolicy struct{ view *View }
+
+func (p *lowOrgPolicy) Name() string                 { return "low-org" }
+func (p *lowOrgPolicy) Attach(v *View, _ *rand.Rand) { p.view = v }
+func (p *lowOrgPolicy) Select(_ model.Time, _ int) int {
+	for u := 0; u < p.view.Orgs(); u++ {
+		if p.view.Waiting(u) > 0 {
+			return u
+		}
+	}
+	return -1
+}
+
+// A ValuePoly snapshot must evaluate to exactly Value() at every instant
+// up to the cluster's next event — including on related machines, where
+// a running job's final slot carries a sub-speed remainder. The test
+// drives a cluster event by event; between events it compares the frozen
+// polynomial against the live (flushing) evaluation at every
+// intermediate time.
+func TestValuePolyMatchesLiveValueBetweenEvents(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(500 + seed))
+		k := 1 + r.Intn(3)
+		orgs := make([]model.Org, k)
+		for i := range orgs {
+			m := 1 + r.Intn(2)
+			o := model.Org{Name: string(rune('A' + i)), Machines: m}
+			if r.Intn(2) == 0 {
+				o.Speeds = make([]int, m)
+				for s := range o.Speeds {
+					o.Speeds[s] = 1 + r.Intn(3)
+				}
+			}
+			orgs[i] = o
+		}
+		n := 4 + r.Intn(10)
+		jobs := make([]model.Job, n)
+		for i := range jobs {
+			jobs[i] = model.Job{Org: r.Intn(k), Release: model.Time(r.Intn(10)), Size: model.Time(1 + r.Intn(9))}
+		}
+		in := model.MustNewInstance(orgs, jobs)
+		horizon := in.Horizon() + 2
+
+		c := New(in, in.Grand(), &lowOrgPolicy{}, nil)
+		for {
+			poly := c.ValuePoly()
+			next := c.NextEventTime()
+			stop := next
+			if stop > horizon {
+				stop = horizon
+			}
+			// The polynomial must be exact at the snapshot instant and at
+			// every time strictly before the next event.
+			for tm := c.Now(); tm < stop; tm++ {
+				c.AdvanceTo(tm)
+				if got, want := poly.At(tm), c.Value(); got != want {
+					t.Fatalf("seed %d: poly.At(%d) = %d, live value = %d", seed, tm, got, want)
+				}
+			}
+			if next == MaxTime || next > horizon {
+				break
+			}
+			if !c.Step(horizon) {
+				break
+			}
+		}
+	}
+}
+
+// The zero ValuePoly is the value function of an untouched cluster.
+func TestValuePolyZeroValue(t *testing.T) {
+	var p ValuePoly
+	for _, tm := range []model.Time{0, 1, 17, 1 << 20} {
+		if p.At(tm) != 0 {
+			t.Fatalf("zero poly at %d = %d, want 0", tm, p.At(tm))
+		}
+	}
+}

@@ -15,6 +15,28 @@ import (
 // experiments are exactly reproducible.
 func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
+// NewStreamRand returns the stream-th deterministic substream of the
+// seed: every stream is a pure function of (seed, stream) — independent
+// of how many streams exist or which goroutine draws from them.
+// Parallel samplers give each logical sample its own stream and stay
+// byte-identical for any worker count. The seed is avalanched before
+// the stream index is added, so colliding streams across two seeds
+// would need the seeds' SplitMix64 images to differ by exactly the
+// stream offset — unlike a linear seed+c·stream mix, where seeds a
+// fixed constant apart share shifted stream sequences.
+func NewStreamRand(seed, stream int64) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(splitmix64(uint64(seed)) + uint64(stream)))))
+}
+
+// splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood): a
+// bijective avalanche mix.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
 // Summary accumulates a stream of observations with Welford's online
 // algorithm. The zero value is an empty summary.
 type Summary struct {
