@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive the performance
+// trajectory (BENCH_2.json) instead of throwing benchmark numbers away
+// in job logs:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson > BENCH_2.json
+//
+// Each benchmark line becomes one record with the raw name, ns/op, and
+// the decomposed sub-benchmark path: `key=value` segments (orgs=8,
+// N=15, workers=4) land in "params", the remaining segments identify
+// the benchmark and algorithm — enough to plot ns/op per algorithm and
+// organization count across PRs without re-parsing Go's text format.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark measurement.
+type Record struct {
+	// Name is the full benchmark name with the -GOMAXPROCS suffix
+	// stripped, e.g. "BenchmarkAblationREFScaling/orgs=8/heap".
+	Name string `json:"name"`
+	// Benchmark is the top-level function, e.g. "AblationREFScaling".
+	Benchmark string `json:"benchmark"`
+	// Algorithm is the sub-benchmark path segment that is not a
+	// key=value pair (the algorithm or variant label), if any.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Params holds the key=value path segments (orgs, N, workers, …).
+	Params     map[string]string `json:"params,omitempty"`
+	Iterations int64             `json:"iterations"`
+	NsPerOp    float64           `json:"ns_per_op"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Format     string   `json:"format"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+func main() {
+	report, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output and collects every benchmark
+// line. Non-benchmark lines (package headers, PASS/ok, log output) are
+// ignored.
+func parse(r io.Reader) (*Report, error) {
+	report := &Report{Format: "go-bench-json/1", Benchmarks: []Record{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		rec, ok := parseLine(sc.Text())
+		if ok {
+			report.Benchmarks = append(report.Benchmarks, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// parseLine parses one "BenchmarkX-8  N  T ns/op ..." line.
+func parseLine(line string) (Record, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Record{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Record{}, false
+	}
+	// Find the "ns/op" unit; its value precedes it.
+	ns := -1.0
+	for i := 3; i < len(fields); i++ {
+		if fields[i] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				return Record{}, false
+			}
+			ns = v
+			break
+		}
+	}
+	if ns < 0 {
+		return Record{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix from the last path segment.
+	if i := strings.LastIndex(name, "-"); i > 0 && !strings.Contains(name[i:], "/") {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	rec := Record{Name: name, Iterations: iters, NsPerOp: ns}
+	segs := strings.Split(strings.TrimPrefix(name, "Benchmark"), "/")
+	rec.Benchmark = segs[0]
+	for _, seg := range segs[1:] {
+		if k, v, found := strings.Cut(seg, "="); found && !strings.Contains(k, "(") {
+			if rec.Params == nil {
+				rec.Params = map[string]string{}
+			}
+			rec.Params[k] = v
+			continue
+		}
+		// Non key=value segment: the algorithm / variant label. Join
+		// multiple with '/' (rare, but sub-sub-benchmarks exist).
+		if rec.Algorithm == "" {
+			rec.Algorithm = seg
+		} else {
+			rec.Algorithm += "/" + seg
+		}
+	}
+	return rec, true
+}

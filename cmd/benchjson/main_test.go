@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable1/lpc-egee/Rand(N=15)-8         	       1	 123456789 ns/op
+BenchmarkAblationREFScaling/orgs=8/heap-8     	       1	  98765432 ns/op	  1234 B/op	   56 allocs/op
+BenchmarkAblationRandWorkers/workers=4-8      	       2	   5000000 ns/op
+BenchmarkUtilityPsi-8                         	1000000	       105.3 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Format != "go-bench-json/1" {
+		t.Fatalf("format = %q", report.Format)
+	}
+	if len(report.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	}
+	b := report.Benchmarks
+
+	if b[0].Benchmark != "Table1" || b[0].Algorithm != "lpc-egee/Rand(N=15)" || b[0].NsPerOp != 123456789 {
+		t.Errorf("record 0: %+v", b[0])
+	}
+	if b[1].Benchmark != "AblationREFScaling" || b[1].Params["orgs"] != "8" || b[1].Algorithm != "heap" {
+		t.Errorf("record 1: %+v", b[1])
+	}
+	if b[1].NsPerOp != 98765432 {
+		t.Errorf("record 1 ns/op with extra metrics: %+v", b[1])
+	}
+	if b[2].Params["workers"] != "4" || b[2].Algorithm != "" {
+		t.Errorf("record 2: %+v", b[2])
+	}
+	if b[3].Name != "BenchmarkUtilityPsi" || b[3].Iterations != 1000000 || b[3].NsPerOp != 105.3 {
+		t.Errorf("record 3: %+v", b[3])
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	report, err := parse(strings.NewReader("hello\nBenchmarkBroken-8 x y\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 0 {
+		t.Fatalf("noise parsed as benchmarks: %+v", report.Benchmarks)
+	}
+}

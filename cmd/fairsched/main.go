@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
@@ -28,41 +30,65 @@ import (
 )
 
 func main() {
-	var (
-		family   = flag.String("family", "lpc-egee", "synthetic workload family (lpc-egee, pik-iplex, sharcnet-whale, ricc)")
-		swfPath  = flag.String("swf", "", "SWF trace file (overrides -family)")
-		algName  = flag.String("alg", "directcontr", "algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
-		orgs     = flag.Int("orgs", 5, "number of organizations")
-		horizon  = flag.Int64("horizon", 50000, "simulation horizon (time units)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		samples  = flag.Int("rand-n", 15, "RAND sample count")
-		strat    = flag.Bool("rand-stratified", false, "RAND: draw permutations in position-stratified rotations")
-		workers  = flag.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
-		driver   = flag.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
-		split    = flag.String("split", "zipf", "machine split among organizations: zipf | uniform")
-		machines = flag.Int("machines", 0, "total machines when using -swf (0 = #orgs)")
-		gantt    = flag.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
-		compare  = flag.Bool("compare", false, "also run REF and report Δψ/p_tot")
-	)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "fairsched:", err)
+		os.Exit(1)
+	}
+}
 
-	inst, err := buildInstance(*swfPath, *family, *orgs, *split, *machines, model.Time(*horizon), *seed)
-	fail(err)
+// run is the whole command; split from main so the CLI smoke tests can
+// drive flag parsing, instance building and a full simulation without
+// spawning a process.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("fairsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		family   = fs.String("family", "lpc-egee", "synthetic workload family (lpc-egee, pik-iplex, sharcnet-whale, ricc)")
+		swfPath  = fs.String("swf", "", "SWF trace file (overrides -family)")
+		algName  = fs.String("alg", "directcontr", "algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
+		orgs     = fs.Int("orgs", 5, "number of organizations")
+		horizon  = fs.Int64("horizon", 50000, "simulation horizon (time units)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		samples  = fs.Int("rand-n", 15, "RAND sample count")
+		strat    = fs.Bool("rand-stratified", false, "RAND: draw permutations in position-stratified rotations")
+		workers  = fs.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
+		driver   = fs.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
+		split    = fs.String("split", "zipf", "machine split among organizations: zipf | uniform")
+		machines = fs.Int("machines", 0, "total machines when using -swf (0 = #orgs)")
+		gantt    = fs.Bool("gantt", false, "print an ASCII Gantt chart (small runs only)")
+		compare  = fs.Bool("compare", false, "also run REF and report Δψ/p_tot")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil
+		}
+		// The FlagSet already printed the error and usage to stderr.
+		return errors.New("invalid arguments")
+	}
+
+	inst, err := buildInstance(*swfPath, *family, *orgs, *split, *machines, model.Time(*horizon), *seed, stderr)
+	if err != nil {
+		return err
+	}
 	refDriver, err := core.ParseRefDriver(*driver)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	refOpts := core.RefOptions{Parallel: true, Workers: *workers, Driver: refDriver}
 	alg, err := exp.AlgorithmByName(*algName, *samples, refOpts, core.RandOptions{Workers: *workers, Stratified: *strat})
-	fail(err)
+	if err != nil {
+		return err
+	}
 
 	res := alg.Run(inst, model.Time(*horizon), *seed)
-	fmt.Printf("algorithm   : %s\n", res.Algorithm)
-	fmt.Printf("jobs        : %d started of %d\n", len(res.Starts), len(inst.Jobs))
-	fmt.Printf("machines    : %d\n", inst.TotalMachines())
-	fmt.Printf("horizon     : %d\n", res.Horizon)
-	fmt.Printf("value v(C)  : %d\n", res.Value)
-	fmt.Printf("utilization : %.3f\n\n", res.Utilization)
+	fmt.Fprintf(stdout, "algorithm   : %s\n", res.Algorithm)
+	fmt.Fprintf(stdout, "jobs        : %d started of %d\n", len(res.Starts), len(inst.Jobs))
+	fmt.Fprintf(stdout, "machines    : %d\n", inst.TotalMachines())
+	fmt.Fprintf(stdout, "horizon     : %d\n", res.Horizon)
+	fmt.Fprintf(stdout, "value v(C)  : %d\n", res.Value)
+	fmt.Fprintf(stdout, "utilization : %.3f\n\n", res.Utilization)
 
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	w := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "org\tmachines\tjobs\tψ (utility)\tφ (contribution)")
 	perOrg := make([]int, len(inst.Orgs))
 	for _, j := range inst.Jobs {
@@ -79,17 +105,18 @@ func main() {
 
 	if *compare {
 		ref := core.RefAlgorithm{Opts: refOpts}.Run(inst, model.Time(*horizon), *seed)
-		fmt.Printf("\nREF reference value : %d\n", ref.Value)
-		fmt.Printf("Δψ (L1 distance)    : %d\n", metrics.DeltaPsi(res.Psi, ref.Psi))
-		fmt.Printf("Δψ/p_tot            : %.3f\n", metrics.UnfairnessPerUnit(res.Psi, ref.Psi, ref.Ptot))
+		fmt.Fprintf(stdout, "\nREF reference value : %d\n", ref.Value)
+		fmt.Fprintf(stdout, "Δψ (L1 distance)    : %d\n", metrics.DeltaPsi(res.Psi, ref.Psi))
+		fmt.Fprintf(stdout, "Δψ/p_tot            : %.3f\n", metrics.UnfairnessPerUnit(res.Psi, ref.Psi, ref.Ptot))
 	}
 	if *gantt {
-		fmt.Println()
-		fmt.Print(vis.Gantt(inst, res.Starts, inst.TotalMachines(), model.Time(*horizon), 100))
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, vis.Gantt(inst, res.Starts, inst.TotalMachines(), model.Time(*horizon), 100))
 	}
+	return nil
 }
 
-func buildInstance(swfPath, family string, orgs int, split string, machines int, horizon model.Time, seed int64) (*model.Instance, error) {
+func buildInstance(swfPath, family string, orgs int, split string, machines int, horizon model.Time, seed int64, stderr io.Writer) (*model.Instance, error) {
 	rng := stats.NewRand(seed)
 	if swfPath != "" {
 		f, err := os.Open(swfPath)
@@ -102,7 +129,7 @@ func buildInstance(swfPath, family string, orgs int, split string, machines int,
 			return nil, err
 		}
 		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "fairsched: skipped %d unusable trace records\n", skipped)
+			fmt.Fprintf(stderr, "fairsched: skipped %d unusable trace records\n", skipped)
 		}
 		tr = tr.Sequentialize().Window(0, horizon)
 		if machines <= 0 {
@@ -127,11 +154,4 @@ func buildInstance(swfPath, family string, orgs int, split string, machines int,
 		splits = stats.ZipfSplit(fam.Procs, orgs, 1)
 	}
 	return fam.Instance(horizon, orgs, splits, rng)
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fairsched:", err)
-		os.Exit(1)
-	}
 }

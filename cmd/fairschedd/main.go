@@ -1,0 +1,130 @@
+// Command fairschedd is the serving daemon: it holds one incremental
+// scheduling run open and accepts job submissions over HTTP/JSON,
+// streaming scheduling decisions back as the clock is advanced.
+//
+//	fairschedd -addr :8080 -alg ref -orgs 3 -machines 6
+//
+// Jobs arrive online (the machine pool is fixed at startup, the job
+// list starts empty), the engine clock advances on request, and the
+// full deterministic state can be checkpointed and restored through
+// the API or preloaded at boot:
+//
+//	curl -X POST localhost:8080/v1/jobs -d '{"jobs":[{"org":0,"size":5}]}'
+//	curl -X POST localhost:8080/v1/advance -d '{"until":100}'
+//	curl localhost:8080/v1/state
+//	curl localhost:8080/v1/checkpoint > run.ckpt
+//	fairschedd -addr :8080 -alg ref -orgs 3 -machines 6 -restore run.ckpt
+//
+// See internal/engine for the endpoint reference.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func main() {
+	srv, addr, err := build(os.Args[1:], os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	fail(err)
+	fmt.Fprintf(os.Stderr, "fairschedd: serving on %s\n", addr)
+	fail(http.ListenAndServe(addr, srv.Handler()))
+}
+
+// build constructs the server from command-line arguments; split from
+// main so the smoke tests exercise the full boot path without binding
+// a socket.
+func build(args []string, stderr io.Writer) (*engine.Server, string, error) {
+	fs := flag.NewFlagSet("fairschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr     = fs.String("addr", ":8080", "HTTP listen address")
+		algName  = fs.String("alg", "ref", "algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
+		orgs     = fs.Int("orgs", 3, "number of organizations")
+		machines = fs.Int("machines", 0, "total machines (0 = #orgs)")
+		split    = fs.String("split", "zipf", "machine split among organizations: zipf | uniform")
+		seed     = fs.Int64("seed", 1, "random seed")
+		samples  = fs.Int("rand-n", 15, "RAND sample count")
+		strat    = fs.Bool("rand-stratified", false, "RAND: draw permutations in position-stratified rotations")
+		workers  = fs.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
+		driver   = fs.String("ref-driver", "heap", "REF event loop: heap or scan")
+		restore  = fs.String("restore", "", "checkpoint file to resume from")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil, "", err
+		}
+		// The FlagSet already printed the error and usage to stderr.
+		return nil, "", errors.New("invalid arguments")
+	}
+	refDriver, err := core.ParseRefDriver(*driver)
+	if err != nil {
+		return nil, "", err
+	}
+	alg, err := exp.AlgorithmByName(*algName, *samples,
+		core.RefOptions{Parallel: true, Workers: *workers, Driver: refDriver},
+		core.RandOptions{Workers: *workers, Stratified: *strat})
+	if err != nil {
+		return nil, "", err
+	}
+	stepper, ok := alg.(core.StepperAlgorithm)
+	if !ok {
+		return nil, "", fmt.Errorf("algorithm %q cannot run incrementally", alg.Name())
+	}
+
+	var e *engine.Engine
+	if *restore != "" {
+		data, err := os.ReadFile(*restore)
+		if err != nil {
+			return nil, "", err
+		}
+		if e, err = engine.Restore(stepper, data); err != nil {
+			return nil, "", err
+		}
+		fmt.Fprintf(stderr, "fairschedd: restored %s at t=%d with %d jobs\n",
+			stepper.Name(), e.Now(), len(e.Instance().Jobs))
+	} else {
+		if *orgs < 1 {
+			return nil, "", fmt.Errorf("need at least one organization")
+		}
+		total := *machines
+		if total <= 0 {
+			total = *orgs
+		}
+		var splits []int
+		if *split == "uniform" {
+			splits = stats.UniformSplit(total, *orgs)
+		} else {
+			splits = stats.ZipfSplit(total, *orgs, 1)
+		}
+		orgList := make([]model.Org, *orgs)
+		for i := range orgList {
+			orgList[i] = model.Org{Name: fmt.Sprintf("org%d", i), Machines: splits[i]}
+		}
+		inst, err := model.NewInstance(orgList, nil)
+		if err != nil {
+			return nil, "", err
+		}
+		e = engine.New(stepper, inst, *seed)
+	}
+	return engine.NewServer(e), *addr, nil
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairschedd:", err)
+		os.Exit(1)
+	}
+}

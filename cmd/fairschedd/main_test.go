@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuildFlagParsing(t *testing.T) {
+	var stderr bytes.Buffer
+	srv, addr, err := build([]string{"-alg", "directcontr", "-orgs", "4", "-machines", "8", "-addr", ":9999"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv == nil || addr != ":9999" {
+		t.Fatalf("build: srv=%v addr=%q", srv, addr)
+	}
+	if _, _, err := build([]string{"-alg", "nope"}, &stderr); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, _, err := build([]string{"-orgs", "0"}, &stderr); err == nil {
+		t.Fatal("zero organizations accepted")
+	}
+	if _, _, err := build([]string{"-ref-driver", "bogus"}, &stderr); err == nil {
+		t.Fatal("unknown REF driver accepted")
+	}
+	if _, _, err := build([]string{"-restore", "/nonexistent/ckpt"}, &stderr); err == nil {
+		t.Fatal("missing checkpoint file accepted")
+	}
+}
+
+// End-to-end daemon smoke: boot from flags, submit jobs over HTTP,
+// advance, drain decisions, checkpoint to disk, and boot a second
+// daemon from that checkpoint.
+func TestDaemonRoundTripAndRestore(t *testing.T) {
+	var stderr bytes.Buffer
+	srv, _, err := build([]string{"-alg", "ref", "-orgs", "2", "-machines", "3", "-seed", "7"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) map[string]any {
+		t.Helper()
+		resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, raw)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	post("/v1/jobs", `{"jobs":[{"org":0,"size":3},{"org":1,"size":2},{"org":1,"size":4,"release":5}]}`)
+	adv := post("/v1/advance", `{"until":30}`)
+	if n := len(adv["decisions"].([]any)); n != 3 {
+		t.Fatalf("daemon made %d decisions, want 3", n)
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(ckpt, snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stderr.Reset()
+	srv2, _, err := build([]string{"-alg", "ref", "-restore", ckpt}, &stderr)
+	if err != nil {
+		t.Fatalf("boot from checkpoint: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, err = ts2.Client().Get(ts2.URL + "/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var state map[string]any
+	if err := json.Unmarshal(raw, &state); err != nil {
+		t.Fatal(err)
+	}
+	if state["now"].(float64) != 30 || state["decisions"].(float64) != 3 {
+		t.Fatalf("restored daemon state: %v", state)
+	}
+	if !strings.Contains(stderr.String(), "restored") {
+		t.Fatalf("boot log missing restore notice: %q", stderr.String())
+	}
+	// A restored daemon keeps serving: feed one more job and drain it.
+	resp2, err := ts2.Client().Post(ts2.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"jobs":[{"org":0,"size":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	resp3, err := ts2.Client().Post(ts2.URL+"/v1/advance", "application/json", strings.NewReader(`{"until":40}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	var adv2 map[string]any
+	if err := json.Unmarshal(raw, &adv2); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(adv2["decisions"].([]any)); n != 1 {
+		t.Fatalf("restored daemon scheduled %d jobs, want 1: %s", n, raw)
+	}
+}

@@ -15,13 +15,19 @@
 //	internal/model    — organizations, jobs, coalitions, instances
 //	internal/utility  — ψsp and classic scheduling metrics
 //	internal/shapley  — generic Shapley-value machinery
-//	internal/sim      — event-driven cluster simulator with greedy dispatch
-//	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR
+//	internal/sim      — event-driven cluster simulator with greedy dispatch,
+//	                    online job injection and state capture/restore
+//	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR,
+//	                    each runnable incrementally (core.Stepper)
 //	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
-//	internal/trace    — Standard Workload Format (SWF) reader/writer
+//	internal/engine   — incremental run engine: Feed/Step/Snapshot/Restore
+//	                    plus the HTTP serving layer
+//	internal/trace    — Standard Workload Format (SWF) reader/writer and
+//	                    the O(1)-memory streaming Reader
 //	internal/gen      — synthetic workload families
 //	internal/exp      — Table 1/2 and Figure 7/10 experiment runners
-//	cmd/...           — fairsched, paperexp, tracegen executables
+//	cmd/...           — fairsched, fairschedd (daemon), paperexp, tracegen,
+//	                    benchjson executables
 //	examples/...      — runnable scenarios built on the public API
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for

@@ -1,0 +1,113 @@
+// Example online demonstrates the streaming scheduler engine: jobs are
+// produced live by a submitter goroutine (the engine never sees the
+// future), scheduling decisions print as the clock advances, and the
+// run is checkpointed to bytes and resumed mid-flight — the resumed
+// engine picks up exactly where the original stopped.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// arrival is one submission event produced by the workload goroutine.
+type arrival struct {
+	at  model.Time // submission instant
+	job model.Job
+}
+
+func main() {
+	// Two organizations share a 3-machine cluster; REF keeps the
+	// schedule fair by exact Shapley contributions.
+	inst, err := model.NewInstance([]model.Org{
+		{Name: "alpha", Machines: 2},
+		{Name: "beta", Machines: 1},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := engine.New(core.RefAlgorithm{}, inst, 1)
+
+	// The submitter goroutine plays a live workload into a channel:
+	// bursts from alpha, a steady trickle from beta. The scheduler
+	// learns of each job only when it arrives.
+	arrivals := make(chan arrival)
+	go func() {
+		defer close(arrivals)
+		for t := model.Time(0); t < 40; t += 8 {
+			arrivals <- arrival{at: t, job: model.Job{Org: 0, Release: t, Size: 6}}
+			arrivals <- arrival{at: t, job: model.Job{Org: 0, Release: t, Size: 3}}
+			arrivals <- arrival{at: t + 4, job: model.Job{Org: 1, Release: t + 4, Size: 5}}
+		}
+	}()
+
+	report := func(starts []sim.Start, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStarts(inst, starts)
+	}
+
+	fmt.Println("== live run: decisions as they happen ==")
+	var snapshot []byte
+	for a := range arrivals {
+		// Advance the engine to the submission instant, then feed.
+		report(e.Step(a.at))
+		if _, err := e.Feed([]model.Job{a.job}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%-3d submit  org=%s size=%d\n", a.at, inst.Orgs[a.job.Org].Name, a.job.Size)
+		report(e.Step(a.at)) // same-instant dispatch, if a machine is free
+
+		// Halfway through, checkpoint the whole run to bytes — as
+		// fairschedd would before a planned restart.
+		if a.at >= 20 && snapshot == nil {
+			if snapshot, err = e.Snapshot(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%-3d checkpoint taken (%d bytes, %d decisions so far)\n",
+				e.Now(), len(snapshot), len(e.Decisions()))
+			// Resume from the snapshot and continue with the restored
+			// engine: the original is abandoned mid-run.
+			if e, err = engine.Restore(core.RefAlgorithm{}, snapshot); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("t=%-3d resumed from checkpoint\n", e.Now())
+		}
+	}
+
+	// Drain: no more arrivals, run every remaining event to completion.
+	for {
+		starts, ok, err := e.StepToNextEvent()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		printStarts(inst, starts)
+	}
+
+	res := e.Result()
+	fmt.Println("\n== final accounting ==")
+	fmt.Printf("horizon t=%d, %d jobs scheduled, utilization %.2f\n",
+		e.Now(), len(res.Starts), res.Utilization)
+	for i, o := range inst.Orgs {
+		fmt.Printf("%-6s ψ=%-6d φ=%.1f\n", o.Name, res.Psi[i], res.Phi[i])
+	}
+}
+
+// printStarts prints each decision in "t= start org on machine" form.
+func printStarts(inst *model.Instance, starts []sim.Start) {
+	for _, s := range starts {
+		fmt.Printf("t=%-3d start   job#%d of %s on machine %d\n",
+			s.At, s.Job, inst.Orgs[s.Org].Name, s.Machine)
+	}
+}

@@ -9,6 +9,7 @@
 package baseline
 
 import (
+	"encoding/json"
 	"math/rand"
 
 	"repro/internal/model"
@@ -75,6 +76,27 @@ func (p *RoundRobin) Select(_ model.Time, _ int) int {
 		}
 	}
 	return -1 // unreachable: the engine calls Select only with waiting jobs
+}
+
+// roundRobinState is RoundRobin's serialized checkpoint form.
+type roundRobinState struct {
+	Next int `json:"next"`
+}
+
+// CapturePolicyState implements sim.StatefulPolicy: the rotation cursor
+// is the only state a resumed run needs.
+func (p *RoundRobin) CapturePolicyState() ([]byte, error) {
+	return json.Marshal(roundRobinState{Next: p.next})
+}
+
+// RestorePolicyState implements sim.StatefulPolicy.
+func (p *RoundRobin) RestorePolicyState(data []byte) error {
+	var st roundRobinState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	p.next = st.Next
+	return nil
 }
 
 // Priority always prefers the earliest organization in its fixed order

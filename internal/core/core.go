@@ -25,7 +25,6 @@ package core
 import (
 	"repro/internal/model"
 	"repro/internal/sim"
-	"repro/internal/stats"
 )
 
 // Result is the outcome of running one scheduling algorithm on one
@@ -61,8 +60,10 @@ type Algorithm interface {
 }
 
 // FromPolicy wraps a per-decision sim.Policy as an Algorithm running on
-// the grand coalition. factory must return a fresh policy per run.
-func FromPolicy(name string, factory func() sim.Policy) Algorithm {
+// the grand coalition. factory must return a fresh policy per run. The
+// returned algorithm is a StepperAlgorithm: it can run incrementally
+// under internal/engine.
+func FromPolicy(name string, factory func() sim.Policy) StepperAlgorithm {
 	return &policyAlgorithm{name: name, factory: factory}
 }
 
@@ -73,10 +74,21 @@ type policyAlgorithm struct {
 
 func (a *policyAlgorithm) Name() string { return a.name }
 
+// Run implements Algorithm as a thin wrapper over the incremental
+// stepper: drain every event up to the horizon, finish the clock there,
+// report. runStepper is the single driving loop shared by every batch
+// entry point, so batch and streaming runs execute identical code.
 func (a *policyAlgorithm) Run(inst *model.Instance, until model.Time, seed int64) *Result {
-	c := sim.New(inst, inst.Grand(), a.factory(), stats.NewRand(seed))
-	c.Run(until)
-	return resultFromCluster(a.name, c, until, nil)
+	return runStepper(a.NewStepper(inst, seed), until)
+}
+
+// runStepper drains s to the horizon and builds the result — the batch
+// contract expressed in the incremental vocabulary.
+func runStepper(s Stepper, until model.Time) *Result {
+	for s.StepNext(until) {
+	}
+	s.FinishAt(until)
+	return s.ResultAt(until)
 }
 
 func resultFromCluster(name string, c *sim.Cluster, until model.Time, phi []float64) *Result {

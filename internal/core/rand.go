@@ -79,10 +79,12 @@ type RandSched struct {
 	inst    *model.Instance
 	k       int
 	samples int
+	seed    int64
 	grand   model.Coalition
 	opts    RandOptions
 
 	decision *sim.Cluster
+	src      *stats.Source     // decision cluster's RNG stream (checkpointable)
 	masks    []model.Coalition // distinct sampled masks, ascending
 	clusters map[model.Coalition]*sim.Cluster
 	preds    [][]model.Coalition // per org: N sampled predecessor sets
@@ -102,6 +104,7 @@ func NewRandSched(inst *model.Instance, samples int, seed int64, opts RandOption
 		inst:     inst,
 		k:        k,
 		samples:  samples,
+		seed:     seed,
 		grand:    model.Grand(k),
 		opts:     opts,
 		clusters: make(map[model.Coalition]*sim.Cluster),
@@ -162,35 +165,105 @@ func NewRandSched(inst *model.Instance, samples int, seed int64, opts RandOption
 	for i, mask := range r.masks {
 		r.clusters[mask] = built[i]
 	}
-	r.decision = sim.New(inst, r.grand, &randPolicy{r: r}, stats.NewRand(seed))
+	r.src = stats.NewSource(seed)
+	r.decision = sim.New(inst, r.grand, &randPolicy{r: r}, rand.New(r.src))
 	return r
 }
 
 // Run drives the decision schedule and every sampled coalition schedule
 // to the horizon and returns the decision schedule's result with the
-// final sampled contribution estimates.
+// final sampled contribution estimates. It is a thin wrapper over the
+// incremental stepping interface — the streaming engine executes
+// exactly this code path one event at a time.
 func (r *RandSched) Run(until model.Time) *Result {
-	for {
-		t := r.decision.NextEventTime()
-		for _, mask := range r.masks {
-			if e := r.clusters[mask].NextEventTime(); e < t {
-				t = e
-			}
-		}
-		if t == sim.MaxTime || t > until {
-			break
-		}
-		r.advanceSampled(t, true)
-		r.decision.AdvanceTo(t)
-		if r.decision.CanDispatch() {
-			r.computePhi()
-			r.decision.Dispatch()
+	return runStepper(r, until)
+}
+
+// Name implements Stepper.
+func (r *RandSched) Name() string { return r.name() }
+
+// Instance implements Stepper.
+func (r *RandSched) Instance() *model.Instance { return r.inst }
+
+// Starts implements Stepper: the decision schedule's starts.
+func (r *RandSched) Starts() []sim.Start { return r.decision.Starts() }
+
+// NextEventTime implements Stepper: the earliest pending event across
+// the decision schedule and every sampled coalition schedule.
+func (r *RandSched) NextEventTime() model.Time {
+	t := r.decision.NextEventTime()
+	for _, mask := range r.masks {
+		if e := r.clusters[mask].NextEventTime(); e < t {
+			t = e
 		}
 	}
-	r.advanceSampled(until, false)
-	r.decision.AdvanceTo(until)
+	return t
+}
+
+// StepNext implements Stepper: process the single earliest global event
+// at or before until — advance the sampled schedules (with their FCFS
+// dispatch), then the decision schedule with a fresh φ estimate.
+func (r *RandSched) StepNext(until model.Time) bool {
+	t := r.NextEventTime()
+	if t == sim.MaxTime || t > until {
+		return false
+	}
+	r.advanceSampled(t, true)
+	r.decision.AdvanceTo(t)
+	if r.decision.CanDispatch() {
+		r.computePhi()
+		r.decision.Dispatch()
+	}
+	return true
+}
+
+// FinishAt implements Stepper: move every schedule's clock to exactly
+// t. No dispatch runs — the caller has drained all events at or before
+// t, so no dispatch opportunity exists.
+func (r *RandSched) FinishAt(t model.Time) {
+	r.advanceSampled(t, false)
+	r.decision.AdvanceTo(t)
+}
+
+// ResultAt implements Stepper: the decision schedule's result with the
+// current sampled contribution estimates at time t.
+func (r *RandSched) ResultAt(t model.Time) *Result {
 	r.computePhi()
-	return resultFromCluster(r.name(), r.decision, until, append([]float64(nil), r.phi...))
+	return resultFromCluster(r.name(), r.decision, t, append([]float64(nil), r.phi...))
+}
+
+// Inject implements Stepper: register online arrivals with the decision
+// schedule and with every sampled coalition containing the owner. The
+// sampled permutations — and hence the coalition set — are fixed at
+// construction and independent of the job list, so feeding jobs never
+// changes which coalitions are simulated.
+func (r *RandSched) Inject(ids []int) error {
+	for _, id := range ids {
+		if err := r.decision.Inject(id); err != nil {
+			return err
+		}
+		for _, mask := range r.masks {
+			if err := r.clusters[mask].Inject(id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Capture implements Stepper: the decision cluster first, then the
+// sampled clusters in ascending mask order (the order NewRandSched
+// re-derives deterministically from the seed on restore), plus the
+// decision RNG stream position.
+func (r *RandSched) Capture(now model.Time) (*Checkpoint, error) {
+	cp := checkpointHeader(r.name(), r.seed, now, r.inst)
+	cp.Clusters = make([]sim.ClusterState, 0, 1+len(r.masks))
+	cp.Clusters = append(cp.Clusters, r.decision.CaptureState())
+	for _, mask := range r.masks {
+		cp.Clusters = append(cp.Clusters, r.clusters[mask].CaptureState())
+	}
+	cp.RNG = []uint64{r.src.State()}
+	return cp, nil
 }
 
 // advanceSampled moves every sampled coalition schedule to time t,
@@ -292,4 +365,38 @@ func (a RandAlgorithm) Name() string { return randName(a.Samples, a.Opts) }
 // Run implements Algorithm.
 func (a RandAlgorithm) Run(inst *model.Instance, until model.Time, seed int64) *Result {
 	return NewRandSched(inst, a.Samples, seed, a.Opts).Run(until)
+}
+
+// NewStepper implements StepperAlgorithm.
+func (a RandAlgorithm) NewStepper(inst *model.Instance, seed int64) Stepper {
+	return NewRandSched(inst, a.Samples, seed, a.Opts)
+}
+
+// RestoreStepper implements StepperAlgorithm: re-derive the sampled
+// permutations (a pure function of seed, sample count and options),
+// rebuild every cluster, and overwrite each with its captured state.
+func (a RandAlgorithm) RestoreStepper(cp *Checkpoint) (Stepper, error) {
+	if cp.Algorithm != a.Name() {
+		return nil, fmt.Errorf("core: checkpoint for %q restored as %q", cp.Algorithm, a.Name())
+	}
+	inst, err := cp.RebuildInstance()
+	if err != nil {
+		return nil, err
+	}
+	r := NewRandSched(inst, a.Samples, cp.Seed, a.Opts)
+	if len(cp.Clusters) != 1+len(r.masks) {
+		return nil, fmt.Errorf("core: RAND checkpoint has %d clusters, want %d", len(cp.Clusters), 1+len(r.masks))
+	}
+	if err := r.decision.RestoreState(cp.Clusters[0]); err != nil {
+		return nil, err
+	}
+	for i, mask := range r.masks {
+		if err := r.clusters[mask].RestoreState(cp.Clusters[1+i]); err != nil {
+			return nil, err
+		}
+	}
+	if len(cp.RNG) > 0 {
+		r.src.SetState(cp.RNG[0])
+	}
+	return r, nil
 }

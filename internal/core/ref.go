@@ -77,6 +77,7 @@ type Ref struct {
 	k     int
 	grand model.Coalition
 	opts  RefOptions
+	seed  int64 // recorded in checkpoints; REF itself ignores it
 
 	sims    []*sim.Cluster // indexed by coalition mask; [0] is nil
 	bySize  []model.Coalition
@@ -84,6 +85,15 @@ type Ref struct {
 	adj     [][]float64 // per mask: within-instant rotation adjustments
 	vals    []int64     // scratch: coalition values at the current event
 	weights [][]float64 // weights[c][s] = (s−1)!(c−s)!/c!
+
+	// Event-heap driver state, persistent across StepNext calls so a
+	// run can be held open, fed and checkpointed. Rebuilt from the
+	// cluster states lazily (ensureDriver) — never serialized.
+	h           *eventHeap
+	polys       []sim.ValuePoly
+	stamp       []model.Time
+	driverReady bool
+	touched     []model.Coalition // scratch for stepHeap
 }
 
 // NewRef builds the reference scheduler for the instance.
@@ -151,38 +161,84 @@ func buildWeightTable(k int) [][]float64 {
 }
 
 // Run drives every subcoalition schedule to the horizon and returns the
-// grand coalition's result, with exact Shapley contributions.
+// grand coalition's result, with exact Shapley contributions. It is a
+// thin wrapper over the incremental stepping interface — the streaming
+// engine executes exactly this code path one event at a time.
 func (r *Ref) Run(until model.Time) *Result {
-	if r.opts.Driver == DriverScan {
-		r.runScan(until)
-	} else {
-		r.runHeap(until)
+	return runStepper(r, until)
+}
+
+// Instance implements Stepper.
+func (r *Ref) Instance() *model.Instance { return r.inst }
+
+// Starts implements Stepper: the grand coalition's schedule is the
+// decision schedule.
+func (r *Ref) Starts() []sim.Start { return r.sims[r.grand].Starts() }
+
+// NextEventTime implements Stepper: the earliest pending event across
+// all 2^k−1 subcoalition schedules.
+func (r *Ref) NextEventTime() model.Time {
+	t := sim.MaxTime
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		if e := r.sims[mask].NextEventTime(); e < t {
+			t = e
+		}
 	}
-	r.advanceAll(until)
-	grand := r.sims[r.grand]
+	return t
+}
+
+// StepNext implements Stepper: process the single earliest global event
+// at or before until with the configured driver.
+func (r *Ref) StepNext(until model.Time) bool {
+	if r.opts.Driver == DriverScan {
+		return r.stepScan(until)
+	}
+	return r.stepHeap(until)
+}
+
+// FinishAt implements Stepper: move every cluster's clock to exactly t.
+// Callers must have drained events at or before t first, so only clocks
+// (and lazy accrual) move — stepping can resume afterwards.
+func (r *Ref) FinishAt(t model.Time) { r.advanceAll(t) }
+
+// ResultAt implements Stepper: the grand coalition's result with exact
+// contributions at time t (clocks must already stand at t).
+func (r *Ref) ResultAt(t model.Time) *Result {
 	r.refreshValues()
 	r.computePhi(r.grand)
 	phi := append([]float64(nil), r.phi[r.grand]...)
-	return resultFromCluster(r.Name(), grand, until, phi)
+	return resultFromCluster(r.Name(), r.sims[r.grand], t, phi)
 }
 
-// runScan is the original driver: every step scans all 2^k−1 masks for
-// the minimum event time, advances every cluster to it, and re-snapshots
-// every coalition value at each dispatch instant.
-func (r *Ref) runScan(until model.Time) {
-	for {
-		t := sim.MaxTime
-		for mask := model.Coalition(1); mask <= r.grand; mask++ {
-			if e := r.sims[mask].NextEventTime(); e < t {
-				t = e
+// Inject implements Stepper: register online arrivals (already appended
+// to the instance) with every subcoalition containing the owner. Cached
+// value polynomials stay exact — a pending release changes no executed
+// work — but event-heap keys go stale, so the heap is rebuilt.
+func (r *Ref) Inject(ids []int) error {
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		for _, id := range ids {
+			if err := r.sims[mask].Inject(id); err != nil {
+				return err
 			}
 		}
-		if t == sim.MaxTime || t > until {
-			break
-		}
-		r.advanceAll(t)
-		r.dispatchAll()
 	}
+	if r.driverReady {
+		r.rebuildHeap()
+	}
+	return nil
+}
+
+// stepScan is one iteration of the original driver: scan all 2^k−1
+// masks for the minimum event time, advance every cluster to it, and
+// re-snapshot every coalition value at each dispatch instant.
+func (r *Ref) stepScan(until model.Time) bool {
+	t := r.NextEventTime()
+	if t == sim.MaxTime || t > until {
+		return false
+	}
+	r.advanceAll(t)
+	r.dispatchAll()
+	return true
 }
 
 // Name implements Algorithm (via RefAlgorithm); exported here for
@@ -324,6 +380,19 @@ func (p *refPolicy) Select(_ model.Time, _ int) int {
 	return best
 }
 
+// Capture implements Stepper: one ClusterState per subcoalition, in
+// mask order. Driver caches are rebuilt on restore, not serialized; φ
+// and the rotation adjustments are recomputed at every dispatch instant
+// before they are read, so they carry no state either.
+func (r *Ref) Capture(now model.Time) (*Checkpoint, error) {
+	cp := checkpointHeader(r.Name(), r.seed, now, r.inst)
+	cp.Clusters = make([]sim.ClusterState, 0, int(r.grand))
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		cp.Clusters = append(cp.Clusters, r.sims[mask].CaptureState())
+	}
+	return cp, nil
+}
+
 // RefAlgorithm adapts Ref to the Algorithm interface (REF is
 // deterministic; the seed is ignored).
 type RefAlgorithm struct{ Opts RefOptions }
@@ -334,4 +403,37 @@ func (a RefAlgorithm) Name() string { return "REF" }
 // Run implements Algorithm.
 func (a RefAlgorithm) Run(inst *model.Instance, until model.Time, _ int64) *Result {
 	return NewRef(inst, a.Opts).Run(until)
+}
+
+// NewStepper implements StepperAlgorithm.
+func (a RefAlgorithm) NewStepper(inst *model.Instance, seed int64) Stepper {
+	r := NewRef(inst, a.Opts)
+	r.seed = seed
+	return r
+}
+
+// RestoreStepper implements StepperAlgorithm: rebuild the 2^k−1
+// clusters and overwrite each with its captured state; the event heap
+// and value-polynomial caches are reconstructed lazily on the next
+// StepNext.
+func (a RefAlgorithm) RestoreStepper(cp *Checkpoint) (Stepper, error) {
+	if cp.Algorithm != (RefAlgorithm{}).Name() {
+		return nil, fmt.Errorf("core: checkpoint for %q restored as REF", cp.Algorithm)
+	}
+	inst, err := cp.RebuildInstance()
+	if err != nil {
+		return nil, err
+	}
+	r := NewRef(inst, a.Opts)
+	r.seed = cp.Seed
+	if len(cp.Clusters) != int(r.grand) {
+		return nil, fmt.Errorf("core: REF checkpoint has %d clusters, want %d", len(cp.Clusters), int(r.grand))
+	}
+	for i, mask := 0, model.Coalition(1); mask <= r.grand; mask++ {
+		if err := r.sims[mask].RestoreState(cp.Clusters[i]); err != nil {
+			return nil, err
+		}
+		i++
+	}
+	return r, nil
 }

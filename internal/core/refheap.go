@@ -8,7 +8,8 @@ import (
 	"repro/internal/sim"
 )
 
-// runHeap is the event-heap driver (RefOptions.Driver == DriverHeap).
+// stepHeap (below) is the event-heap driver (RefOptions.Driver ==
+// DriverHeap).
 //
 // The scan driver pays O(2^k) per global event just to find the next
 // event time, advances all 2^k−1 clusters to it, and flushes every
@@ -30,40 +31,79 @@ import (
 //     values at t are unaffected by same-instant starts — the lazily
 //     filled value snapshot serves every dispatching coalition at t, in
 //     any order.
-func (r *Ref) runHeap(until model.Time) {
+//
+// The driver state (heap, cached polynomials, dispatch stamps) lives on
+// the Ref so a run can be held open across StepNext calls, fed online
+// arrivals and checkpointed. ensureDriver (re)builds it from the
+// current cluster states: heap keys are each cluster's NextEventTime
+// (exactly what a live heap would hold — untouched clusters' keys never
+// drift from it), polynomials are fresh snapshots (a re-snapshot of an
+// unchanged cluster evaluates identically on the poly's validity
+// window), and stamps are cleared (values are recomputed on demand to
+// the same numbers). This is why checkpoints never serialize driver
+// state and restore stays byte-identical.
+func (r *Ref) ensureDriver() {
+	if r.driverReady {
+		return
+	}
 	n := int(r.grand) + 1
-	h := newEventHeap(n)
+	if r.h == nil {
+		r.h = newEventHeap(n)
+		r.polys = make([]sim.ValuePoly, n)
+		r.stamp = make([]model.Time, n)
+		r.touched = make([]model.Coalition, 0, n)
+	}
+	for mask := model.Coalition(1); mask <= r.grand; mask++ {
+		r.polys[mask] = r.sims[mask].ValuePoly()
+	}
+	r.rebuildHeap()
+	for i := range r.stamp {
+		r.stamp[i] = -1
+	}
+	r.driverReady = true
+}
+
+// rebuildHeap rebuilds the heap from every cluster's current
+// NextEventTime — the single keying rule, used both at driver
+// (re)initialization and after an injection made some key earlier.
+// Cached polynomials remain exact across injections (no executed work
+// changed), so Inject recomputes only the keys.
+func (r *Ref) rebuildHeap() {
+	r.h.heap = r.h.heap[:0]
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
-			h.key[mask] = k
-			h.push(mask)
+			r.h.key[mask] = k
+			r.h.push(mask)
 		}
 	}
-	polys := make([]sim.ValuePoly, n)
-	stamp := make([]model.Time, n)
-	for i := range stamp {
-		stamp[i] = -1
+}
+
+// stepHeap is one iteration of the event-heap driver: pop the touched
+// set at the globally earliest instant, advance and dispatch exactly
+// those clusters, re-snapshot their polynomials and re-insert them.
+func (r *Ref) stepHeap(until model.Time) bool {
+	r.ensureDriver()
+	if r.h.size() == 0 {
+		return false
 	}
-	touched := make([]model.Coalition, 0, n)
-	for h.size() > 0 {
-		t := h.minKey()
-		if t == sim.MaxTime || t > until {
-			break
-		}
-		touched = touched[:0]
-		for h.size() > 0 && h.minKey() == t {
-			touched = append(touched, h.pop())
-		}
-		r.advanceMasks(touched, t)
-		r.dispatchTouched(touched, t, polys, stamp)
-		for _, mask := range touched {
-			polys[mask] = r.sims[mask].ValuePoly()
-			if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
-				h.key[mask] = k
-				h.push(mask)
-			}
+	t := r.h.minKey()
+	if t == sim.MaxTime || t > until {
+		return false
+	}
+	r.touched = r.touched[:0]
+	for r.h.size() > 0 && r.h.minKey() == t {
+		r.touched = append(r.touched, r.h.pop())
+	}
+	r.advanceMasks(r.touched, t)
+	r.dispatchTouched(r.touched, t, r.polys, r.stamp)
+	for _, mask := range r.touched {
+		r.polys[mask] = r.sims[mask].ValuePoly()
+		if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
+			r.h.key[mask] = k
+			r.h.push(mask)
 		}
 	}
+	return true
 }
 
 // advanceMasks moves the given clusters to time t, fanning out over

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file defines the incremental driving contract the streaming
+// engine (internal/engine) consumes. Every algorithm in this package —
+// REF with either driver, RAND, DIRECTCONTR and the policy-backed
+// baselines — implements Stepper, and the batch Algorithm.Run entry
+// points are thin wrappers over the same stepping code, so the batch
+// and streaming paths cannot diverge.
+
+// Stepper is an algorithm run held open: events are processed one
+// decision instant at a time, jobs can be injected mid-run, and the
+// complete deterministic state can be captured for checkpointing.
+// Steppers are single-goroutine objects; the caller serializes access.
+type Stepper interface {
+	// Name labels the algorithm configuration (same as Algorithm.Name).
+	Name() string
+	// Instance returns the live instance, including injected jobs. The
+	// stepper owns it; callers append jobs only through Inject.
+	Instance() *model.Instance
+	// NextEventTime returns the earliest pending event across every
+	// schedule the stepper maintains, or sim.MaxTime when none remains.
+	NextEventTime() model.Time
+	// StepNext processes the single earliest pending event at or before
+	// until (advance, recompute contributions, dispatch) and reports
+	// whether one existed.
+	StepNext(until model.Time) bool
+	// FinishAt moves every schedule's clock to exactly t after the
+	// caller has drained all events at or before t with StepNext. It is
+	// safe to call repeatedly with increasing t; stepping can resume
+	// afterwards.
+	FinishAt(t model.Time)
+	// Inject registers jobs already appended to the instance (by ID)
+	// with every schedule the stepper maintains.
+	Inject(ids []int) error
+	// Starts returns the decision schedule's starts so far.
+	Starts() []sim.Start
+	// ResultAt builds the standard result at time t. Callers must have
+	// drained events to t and called FinishAt(t) first.
+	ResultAt(t model.Time) *Result
+	// Capture serializes the stepper's complete deterministic state at
+	// a step boundary (between StepNext calls). now is the caller's
+	// clock, recorded for the resuming side.
+	Capture(now model.Time) (*Checkpoint, error)
+}
+
+// StepperAlgorithm is an Algorithm that can also run incrementally and
+// resume from a checkpoint. The algorithm value carries the static
+// configuration (driver, sample count, worker options); the Checkpoint
+// carries only dynamic state, so restoring requires the same algorithm
+// configuration that captured it.
+type StepperAlgorithm interface {
+	Algorithm
+	// NewStepper starts an incremental run. The stepper takes ownership
+	// of inst: online arrivals are appended to it via the engine.
+	NewStepper(inst *model.Instance, seed int64) Stepper
+	// RestoreStepper rebuilds a stepper from a checkpoint captured by a
+	// stepper of the same algorithm configuration.
+	RestoreStepper(cp *Checkpoint) (Stepper, error)
+}
+
+// CheckpointVersion identifies the serialized checkpoint layout.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete serializable state of a stepper mid-run:
+// the instance as fed so far (orgs plus every job, including online
+// arrivals), one ClusterState per maintained schedule in a
+// stepper-defined deterministic order, the positions of the RNG streams
+// that influence decisions, and any stateful policy's own capture.
+// Driver acceleration state (event-heap keys, cached value polynomials,
+// dispatch stamps) is deliberately not serialized: it is rebuilt from
+// the cluster states on restore, and the rebuilt caches evaluate to the
+// same values — checkpoint/restore is byte-identical to an
+// uninterrupted run (see TestCheckpointRestoreDeterminism).
+type Checkpoint struct {
+	Version   int                `json:"version"`
+	Algorithm string             `json:"algorithm"`
+	Seed      int64              `json:"seed"`
+	Now       model.Time         `json:"now"`
+	Orgs      []model.Org        `json:"orgs"`
+	Jobs      []model.Job        `json:"jobs"`
+	Clusters  []sim.ClusterState `json:"clusters"`
+	RNG       []uint64           `json:"rng,omitempty"`
+	Policy    json.RawMessage    `json:"policy,omitempty"`
+}
+
+// RebuildInstance reconstructs the live instance from the checkpoint.
+// Jobs are stored in feed order, which need not be globally sorted by
+// release (an arrival fed at time 10 may be released after one fed at
+// time 5), so the model-level Validate is not applied — per-job fields
+// were validated when they were fed.
+func (cp *Checkpoint) RebuildInstance() (*model.Instance, error) {
+	if len(cp.Orgs) == 0 {
+		return nil, fmt.Errorf("core: checkpoint has no organizations")
+	}
+	inst := &model.Instance{
+		Orgs: append([]model.Org(nil), cp.Orgs...),
+		Jobs: append([]model.Job(nil), cp.Jobs...),
+	}
+	total := 0
+	for i := range inst.Orgs {
+		inst.Orgs[i].Speeds = append([]int(nil), cp.Orgs[i].Speeds...)
+		o := inst.Orgs[i]
+		if o.Machines < 0 {
+			return nil, fmt.Errorf("core: checkpoint organization %d has negative machine count", i)
+		}
+		if len(o.Speeds) != 0 {
+			if len(o.Speeds) != o.Machines {
+				return nil, fmt.Errorf("core: checkpoint organization %d has %d speeds for %d machines", i, len(o.Speeds), o.Machines)
+			}
+			for _, s := range o.Speeds {
+				if s < 1 {
+					return nil, fmt.Errorf("core: checkpoint organization %d has speed %d; speeds must be >= 1", i, s)
+				}
+			}
+		}
+		total += o.Machines
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: checkpoint has no machines")
+	}
+	for i, j := range inst.Jobs {
+		if j.ID != i {
+			return nil, fmt.Errorf("core: checkpoint job at position %d has ID %d", i, j.ID)
+		}
+		if j.Org < 0 || j.Org >= len(inst.Orgs) {
+			return nil, fmt.Errorf("core: checkpoint job %d references unknown organization %d", i, j.Org)
+		}
+		if j.Size < 1 || j.Release < 0 {
+			return nil, fmt.Errorf("core: checkpoint job %d has invalid size/release", i)
+		}
+	}
+	return inst, nil
+}
+
+// checkpointHeader fills the shared Checkpoint fields.
+func checkpointHeader(name string, seed int64, now model.Time, inst *model.Instance) *Checkpoint {
+	return &Checkpoint{
+		Version:   CheckpointVersion,
+		Algorithm: name,
+		Seed:      seed,
+		Now:       now,
+		Orgs:      append([]model.Org(nil), inst.Orgs...),
+		Jobs:      append([]model.Job(nil), inst.Jobs...),
+	}
+}
+
+// policyStepper drives a single grand-coalition cluster under a
+// per-decision policy — the incremental form of FromPolicy algorithms
+// (DIRECTCONTR, the fair-share family, ROUNDROBIN, FCFS).
+type policyStepper struct {
+	name string
+	seed int64
+	c    *sim.Cluster
+	src  *stats.Source
+}
+
+func newPolicyStepper(name string, p sim.Policy, inst *model.Instance, seed int64) *policyStepper {
+	src := stats.NewSource(seed)
+	return &policyStepper{
+		name: name,
+		seed: seed,
+		c:    sim.New(inst, inst.Grand(), p, rand.New(src)),
+		src:  src,
+	}
+}
+
+// Name implements Stepper.
+func (s *policyStepper) Name() string { return s.name }
+
+// Instance implements Stepper.
+func (s *policyStepper) Instance() *model.Instance { return s.c.Instance() }
+
+// NextEventTime implements Stepper.
+func (s *policyStepper) NextEventTime() model.Time { return s.c.NextEventTime() }
+
+// StepNext implements Stepper.
+func (s *policyStepper) StepNext(until model.Time) bool { return s.c.Step(until) }
+
+// FinishAt implements Stepper.
+func (s *policyStepper) FinishAt(t model.Time) { s.c.AdvanceTo(t) }
+
+// Inject implements Stepper.
+func (s *policyStepper) Inject(ids []int) error {
+	for _, id := range ids {
+		if err := s.c.Inject(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Starts implements Stepper.
+func (s *policyStepper) Starts() []sim.Start { return s.c.Starts() }
+
+// ResultAt implements Stepper.
+func (s *policyStepper) ResultAt(t model.Time) *Result {
+	return resultFromCluster(s.name, s.c, t, nil)
+}
+
+// Capture implements Stepper.
+func (s *policyStepper) Capture(now model.Time) (*Checkpoint, error) {
+	cp := checkpointHeader(s.name, s.seed, now, s.c.Instance())
+	cp.Clusters = []sim.ClusterState{s.c.CaptureState()}
+	cp.RNG = []uint64{s.src.State()}
+	if sp, ok := s.c.Policy().(sim.StatefulPolicy); ok {
+		data, err := sp.CapturePolicyState()
+		if err != nil {
+			return nil, fmt.Errorf("core: capture policy state: %w", err)
+		}
+		cp.Policy = data
+	}
+	return cp, nil
+}
+
+// NewStepper implements StepperAlgorithm.
+func (a *policyAlgorithm) NewStepper(inst *model.Instance, seed int64) Stepper {
+	return newPolicyStepper(a.name, a.factory(), inst, seed)
+}
+
+// RestoreStepper implements StepperAlgorithm.
+func (a *policyAlgorithm) RestoreStepper(cp *Checkpoint) (Stepper, error) {
+	if cp.Algorithm != a.name {
+		return nil, fmt.Errorf("core: checkpoint for %q restored as %q", cp.Algorithm, a.name)
+	}
+	if len(cp.Clusters) != 1 {
+		return nil, fmt.Errorf("core: policy checkpoint has %d clusters, want 1", len(cp.Clusters))
+	}
+	inst, err := cp.RebuildInstance()
+	if err != nil {
+		return nil, err
+	}
+	s := newPolicyStepper(a.name, a.factory(), inst, cp.Seed)
+	if err := s.c.RestoreState(cp.Clusters[0]); err != nil {
+		return nil, err
+	}
+	if len(cp.RNG) > 0 {
+		s.src.SetState(cp.RNG[0])
+	}
+	if sp, ok := s.c.Policy().(sim.StatefulPolicy); ok && len(cp.Policy) > 0 {
+		if err := sp.RestorePolicyState(cp.Policy); err != nil {
+			return nil, fmt.Errorf("core: restore policy state: %w", err)
+		}
+	}
+	return s, nil
+}

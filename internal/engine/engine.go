@@ -1,0 +1,166 @@
+// Package engine drives any core scheduling algorithm incrementally:
+// jobs are fed as they arrive (Feed), the simulation advances to
+// explicit instants (Step), and the complete deterministic state can be
+// serialized and resumed byte-identically (Snapshot/Restore).
+//
+// The batch contract — core.Algorithm.Run(inst, horizon, seed) — is a
+// degenerate use of this engine: construct it with the full job list
+// and Step once to the horizon. The engine exists for everything the
+// batch contract cannot express: online arrivals unknown at start,
+// open-ended runs with no fixed horizon, long-running serving processes
+// that checkpoint themselves (cmd/fairschedd), and traces too large to
+// hold in memory (internal/trace.Reader feeds jobs in O(1) space).
+//
+// Determinism: an engine run is a pure function of (algorithm
+// configuration, seed, the sequence of Feed and Step calls). Feeding a
+// job before its release time produces exactly the batch schedule that
+// would have contained the job from the start — TestStreamingMatchesBatch
+// asserts byte-identical schedules, ψ and φ for every algorithm.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Engine holds one algorithm run open. Engines are single-goroutine
+// objects: callers (the HTTP server, the examples) serialize access.
+type Engine struct {
+	alg      core.StepperAlgorithm
+	s        core.Stepper
+	seed     int64
+	now      model.Time
+	reported int // starts already handed out by Step
+}
+
+// New starts an incremental run of alg on inst. The engine takes
+// ownership of the instance — jobs arriving later are appended to it by
+// Feed. inst may start with an empty job list (the pure serving case).
+func New(alg core.StepperAlgorithm, inst *model.Instance, seed int64) *Engine {
+	return &Engine{alg: alg, s: alg.NewStepper(inst, seed), seed: seed}
+}
+
+// Algorithm returns the algorithm configuration driving the run.
+func (e *Engine) Algorithm() core.StepperAlgorithm { return e.alg }
+
+// Now returns the engine clock: the instant of the last Step.
+func (e *Engine) Now() model.Time { return e.now }
+
+// Seed returns the run's seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Instance returns the live instance, including every fed job.
+func (e *Engine) Instance() *model.Instance { return e.s.Instance() }
+
+// NextEventTime returns the earliest pending event across every
+// schedule the algorithm maintains, or sim.MaxTime when none remains
+// (the run is drained until more jobs are fed).
+func (e *Engine) NextEventTime() model.Time { return e.s.NextEventTime() }
+
+// Feed injects newly arrived jobs into the running simulation. Job IDs
+// are assigned by the engine (callers leave Job.ID zero); each job must
+// name a valid organization, have size ≥ 1, and be released no earlier
+// than the engine clock — the scheduler is non-clairvoyant, but it
+// cannot be fed its own past. The assigned IDs are returned in order.
+func (e *Engine) Feed(jobs []model.Job) ([]int, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	inst := e.s.Instance()
+	for _, j := range jobs {
+		if j.Org < 0 || j.Org >= len(inst.Orgs) {
+			return nil, fmt.Errorf("engine: feed: unknown organization %d", j.Org)
+		}
+		if j.Size < 1 {
+			return nil, fmt.Errorf("engine: feed: job size %d; sizes must be >= 1", j.Size)
+		}
+		if j.Release < e.now {
+			return nil, fmt.Errorf("engine: feed: release %d before engine time %d", j.Release, e.now)
+		}
+	}
+	ids := make([]int, len(jobs))
+	for i, j := range jobs {
+		j.ID = len(inst.Jobs)
+		ids[i] = j.ID
+		inst.Jobs = append(inst.Jobs, j)
+	}
+	if err := e.s.Inject(ids); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
+// Step advances the run to exactly `until`: every release, completion
+// and dispatch at or before that instant is processed, and every
+// schedule's clock lands on it. It returns the scheduling decisions
+// made since the previous Step (or since Restore). Stepping to the
+// current instant is a no-op that reports freshly fed same-instant
+// releases, if any were dispatched.
+func (e *Engine) Step(until model.Time) ([]sim.Start, error) {
+	if until < e.now {
+		return nil, fmt.Errorf("engine: step to %d before engine time %d", until, e.now)
+	}
+	for e.s.StepNext(until) {
+	}
+	e.s.FinishAt(until)
+	e.now = until
+	all := e.s.Starts()
+	fresh := append([]sim.Start(nil), all[e.reported:]...)
+	e.reported = len(all)
+	return fresh, nil
+}
+
+// StepToNextEvent advances to the next pending event instant, if one
+// exists, and returns its decisions. The second result reports whether
+// an event existed.
+func (e *Engine) StepToNextEvent() ([]sim.Start, bool, error) {
+	t := e.s.NextEventTime()
+	if t == sim.MaxTime {
+		return nil, false, nil
+	}
+	starts, err := e.Step(t)
+	return starts, true, err
+}
+
+// Decisions returns the full decision schedule so far.
+func (e *Engine) Decisions() []sim.Start { return e.s.Starts() }
+
+// Result evaluates utilities, contributions and the schedule at the
+// current engine clock.
+func (e *Engine) Result() *core.Result { return e.s.ResultAt(e.now) }
+
+// Snapshot serializes the run's complete deterministic state as JSON.
+// Restoring it — in this process or another — resumes the run
+// byte-identically: same future decisions, same ψ and φ.
+func (e *Engine) Snapshot() ([]byte, error) {
+	cp, err := e.s.Capture(e.now)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(cp)
+}
+
+// Restore rebuilds an engine from a Snapshot. The algorithm
+// configuration must match the one that captured the snapshot (the
+// checkpoint carries only dynamic state).
+func Restore(alg core.StepperAlgorithm, data []byte) (*Engine, error) {
+	var cp core.Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("engine: restore: %w", err)
+	}
+	if cp.Version != core.CheckpointVersion {
+		return nil, fmt.Errorf("engine: restore: checkpoint version %d, want %d", cp.Version, core.CheckpointVersion)
+	}
+	if cp.Algorithm != alg.Name() {
+		return nil, fmt.Errorf("engine: restore: checkpoint for %q, engine configured as %q", cp.Algorithm, alg.Name())
+	}
+	s, err := alg.RestoreStepper(&cp)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{alg: alg, s: s, seed: cp.Seed, now: cp.Now, reported: len(s.Starts())}, nil
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Server exposes a running Engine over HTTP/JSON — the serve-traffic
+// path. One engine, one mutex: scheduling state is strictly serialized,
+// which matches the engine's single-goroutine contract and keeps every
+// response causally consistent.
+//
+// Endpoints:
+//
+//	POST /v1/jobs        {"jobs":[{"org":0,"size":5,"release":10}]} → assigned IDs
+//	POST /v1/advance     {"until":100} (or {} for the next event)    → new decisions
+//	GET  /v1/state                                                  → ψ, φ, value, clock
+//	GET  /v1/decisions?since=N                                      → decision log suffix
+//	GET  /v1/checkpoint                                             → snapshot JSON
+//	POST /v1/restore     (a snapshot)                               → resumed clock
+//	GET  /v1/healthz                                                → ok
+//
+// A job with no "release" field is released at the current engine
+// clock: submit-now semantics.
+type Server struct {
+	mu sync.Mutex
+	e  *Engine
+}
+
+// NewServer wraps an engine for HTTP serving.
+func NewServer(e *Engine) *Server { return &Server{e: e} }
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/advance", s.handleAdvance)
+	mux.HandleFunc("/v1/state", s.handleState)
+	mux.HandleFunc("/v1/decisions", s.handleDecisions)
+	mux.HandleFunc("/v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("/v1/restore", s.handleRestore)
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// JobSubmission is one submitted job. Release is optional: nil means
+// "now" (the current engine clock).
+type JobSubmission struct {
+	Org     int         `json:"org"`
+	Size    model.Time  `json:"size"`
+	Release *model.Time `json:"release,omitempty"`
+}
+
+// Decision is the wire form of one scheduling decision.
+type Decision struct {
+	Job     int        `json:"job"`
+	Org     int        `json:"org"`
+	Machine int        `json:"machine"`
+	At      model.Time `json:"at"`
+}
+
+func toDecisions(starts []sim.Start) []Decision {
+	out := make([]Decision, len(starts))
+	for i, st := range starts {
+		out[i] = Decision{Job: st.Job, Org: st.Org, Machine: st.Machine, At: st.At}
+	}
+	return out
+}
+
+// StateReply is the /v1/state response.
+type StateReply struct {
+	Algorithm   string      `json:"algorithm"`
+	Now         model.Time  `json:"now"`
+	NextEvent   *model.Time `json:"next_event,omitempty"` // omitted when drained
+	Jobs        int         `json:"jobs"`
+	Decisions   int         `json:"decisions"`
+	Psi         []int64     `json:"psi"`
+	Phi         []float64   `json:"phi,omitempty"`
+	Value       int64       `json:"value"`
+	Utilization float64     `json:"utilization"`
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Jobs []JobSubmission `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "no jobs submitted")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jobs := make([]model.Job, len(req.Jobs))
+	for i, j := range req.Jobs {
+		release := s.e.Now()
+		if j.Release != nil {
+			release = *j.Release
+		}
+		jobs[i] = model.Job{Org: j.Org, Size: j.Size, Release: release}
+	}
+	ids, err := s.e.Feed(jobs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "now": s.e.Now()})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req struct {
+		Until *model.Time `json:"until"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		starts []sim.Start
+		err    error
+	)
+	if req.Until != nil {
+		starts, err = s.e.Step(*req.Until)
+	} else {
+		starts, _, err = s.e.StepToNextEvent()
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"now":       s.e.Now(),
+		"decisions": toDecisions(starts),
+	})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.e.Result()
+	reply := StateReply{
+		Algorithm:   res.Algorithm,
+		Now:         s.e.Now(),
+		Jobs:        len(s.e.Instance().Jobs),
+		Decisions:   len(s.e.Decisions()),
+		Psi:         res.Psi,
+		Phi:         res.Phi,
+		Value:       res.Value,
+		Utilization: res.Utilization,
+	}
+	if next := s.e.NextEventTime(); next != sim.MaxTime {
+		reply.NextEvent = &next
+	}
+	writeJSON(w, http.StatusOK, reply)
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad since parameter %q", v)
+			return
+		}
+		since = n
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	all := s.e.Decisions()
+	if since > len(all) {
+		since = len(all)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":     len(all),
+		"decisions": toDecisions(all[since:]),
+	})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	data, err := s.e.Snapshot()
+	s.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var buf json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&buf); err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	restored, err := Restore(s.e.Algorithm(), buf)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.e = restored
+	writeJSON(w, http.StatusOK, map[string]any{"now": s.e.Now(), "decisions": len(s.e.Decisions())})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+func postJSON(t *testing.T, client *http.Client, url string, body string) map[string]any {
+	t.Helper()
+	resp, err := client.Post(url, "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: bad JSON %q: %v", url, raw, err)
+	}
+	return out
+}
+
+func getJSON(t *testing.T, client *http.Client, url string) map[string]any {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, raw, err)
+	}
+	return out
+}
+
+// The fairschedd round-trip smoke test: submit jobs over HTTP, advance
+// the clock, receive scheduling decisions, inspect utilities, and take
+// a checkpoint through the API.
+func TestServerRoundTrip(t *testing.T) {
+	inst := model.MustNewInstance(
+		[]model.Org{
+			{Name: "org0", Machines: 2},
+			{Name: "org1", Machines: 1},
+		},
+		nil,
+	)
+	srv := httptest.NewServer(NewServer(New(core.RefAlgorithm{}, inst, 1)).Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	if got := getJSON(t, c, srv.URL+"/v1/healthz"); got["status"] != "ok" {
+		t.Fatalf("healthz: %v", got)
+	}
+
+	// Submit four jobs: three released now (t=0), one in the future.
+	sub := postJSON(t, c, srv.URL+"/v1/jobs", `{"jobs":[
+		{"org":0,"size":4},
+		{"org":0,"size":2},
+		{"org":1,"size":3},
+		{"org":1,"size":2,"release":6}
+	]}`)
+	if ids := sub["ids"].([]any); len(ids) != 4 {
+		t.Fatalf("submitted 4 jobs, got ids %v", ids)
+	}
+
+	// Advance to t=5: the three machines take the three released jobs.
+	adv := postJSON(t, c, srv.URL+"/v1/advance", `{"until":5}`)
+	if adv["now"].(float64) != 5 {
+		t.Fatalf("advance: now = %v", adv["now"])
+	}
+	if n := len(adv["decisions"].([]any)); n != 3 {
+		t.Fatalf("expected 3 decisions by t=5, got %d: %v", n, adv["decisions"])
+	}
+
+	// Advance to the next event without naming it.
+	postJSON(t, c, srv.URL+"/v1/advance", `{}`)
+
+	// Drain to a generous horizon; the fourth job must start.
+	postJSON(t, c, srv.URL+"/v1/advance", `{"until":40}`)
+	dec := getJSON(t, c, srv.URL+"/v1/decisions")
+	if total := dec["total"].(float64); total != 4 {
+		t.Fatalf("decision log: %v", dec)
+	}
+	suffix := getJSON(t, c, srv.URL+"/v1/decisions?since=3")
+	if n := len(suffix["decisions"].([]any)); n != 1 {
+		t.Fatalf("since=3 returned %d decisions", n)
+	}
+
+	state := getJSON(t, c, srv.URL+"/v1/state")
+	if state["algorithm"] != "REF" || state["now"].(float64) != 40 {
+		t.Fatalf("state: %v", state)
+	}
+	if psi := state["psi"].([]any); len(psi) != 2 {
+		t.Fatalf("state psi: %v", psi)
+	}
+	if _, ok := state["phi"]; !ok {
+		t.Fatalf("REF state must report φ: %v", state)
+	}
+
+	// Checkpoint through the API and restore it — the clock survives.
+	resp, err := c.Get(srv.URL + "/v1/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint: %d: %s", resp.StatusCode, snap)
+	}
+	restored := postJSON(t, c, srv.URL+"/v1/restore", string(snap))
+	if restored["now"].(float64) != 40 || restored["decisions"].(float64) != 4 {
+		t.Fatalf("restore reply: %v", restored)
+	}
+	state2 := getJSON(t, c, srv.URL+"/v1/state")
+	if fmt.Sprint(state2["psi"]) != fmt.Sprint(state["psi"]) {
+		t.Fatalf("ψ changed across restore: %v vs %v", state2["psi"], state["psi"])
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	inst := model.MustNewInstance([]model.Org{{Name: "A", Machines: 1}}, nil)
+	srv := httptest.NewServer(NewServer(New(core.RefAlgorithm{}, inst, 1)).Handler())
+	defer srv.Close()
+	c := srv.Client()
+
+	for _, tc := range []struct{ url, body string }{
+		{"/v1/jobs", `{"jobs":[]}`},
+		{"/v1/jobs", `{"jobs":[{"org":5,"size":1}]}`},
+		{"/v1/jobs", `not json`},
+		{"/v1/advance", `{"until":-3}`},
+		{"/v1/restore", `{"version":42}`},
+	} {
+		resp, err := c.Post(srv.URL+tc.url, "application/json", bytes.NewBufferString(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("POST %s %q: status %d, want 400", tc.url, tc.body, resp.StatusCode)
+		}
+	}
+	resp, err := c.Get(srv.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/jobs: status %d, want 405", resp.StatusCode)
+	}
+}

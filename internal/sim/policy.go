@@ -45,6 +45,18 @@ type EventObserver interface {
 	OnEvent(t model.Time)
 }
 
+// StatefulPolicy is an optional Policy extension for policies carrying
+// mutable decision state that must survive checkpoint/restore (e.g.
+// RoundRobin's rotation cursor). Stateless policies — and policies
+// whose state is derived from the cluster or driver at every decision —
+// need not implement it.
+type StatefulPolicy interface {
+	// CapturePolicyState serializes the policy's mutable state.
+	CapturePolicyState() ([]byte, error)
+	// RestorePolicyState resumes from a capture.
+	RestorePolicyState(data []byte) error
+}
+
 // SelectFunc adapts a plain function (plus a name) to the Policy
 // interface; handy for tests and simple priority rules.
 type SelectFunc struct {

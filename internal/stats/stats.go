@@ -10,10 +10,45 @@ import (
 	"math/rand"
 )
 
+// Source is a SplitMix64 random source (Steele, Lea & Flood): each draw
+// advances an odd-gamma Weyl sequence and avalanches it. Unlike the
+// math/rand built-in source, its entire state is one exported word, so
+// a mid-stream position can be checkpointed with State and resumed
+// byte-identically with SetState — the property the engine's
+// Snapshot/Restore machinery needs for every RNG that influences
+// scheduling decisions.
+type Source struct{ state uint64 }
+
+// NewSource returns a Source seeded deterministically from seed.
+func NewSource(seed int64) *Source { return &Source{state: uint64(seed)} }
+
+// Uint64 implements rand.Source64.
+func (s *Source) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	x := s.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Int63 implements rand.Source.
+func (s *Source) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed implements rand.Source.
+func (s *Source) Seed(seed int64) { s.state = uint64(seed) }
+
+// State returns the current stream position for checkpointing.
+func (s *Source) State() uint64 { return s.state }
+
+// SetState resumes the source at a position captured with State.
+func (s *Source) SetState(state uint64) { s.state = state }
+
 // NewRand returns a deterministic random source for the given seed.
 // Every stochastic component of the module takes a *rand.Rand so that
-// experiments are exactly reproducible.
-func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+// experiments are exactly reproducible. The underlying Source is
+// checkpointable; callers that need to snapshot mid-stream keep their
+// own *Source and wrap it with rand.New themselves.
+func NewRand(seed int64) *rand.Rand { return rand.New(NewSource(seed)) }
 
 // NewStreamRand returns the stream-th deterministic substream of the
 // seed: every stream is a pure function of (seed, stream) — independent
@@ -25,7 +60,7 @@ func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // stream offset — unlike a linear seed+c·stream mix, where seeds a
 // fixed constant apart share shifted stream sequences.
 func NewStreamRand(seed, stream int64) *rand.Rand {
-	return rand.New(rand.NewSource(int64(splitmix64(splitmix64(uint64(seed)) + uint64(stream)))))
+	return rand.New(NewSource(int64(splitmix64(splitmix64(uint64(seed)) + uint64(stream)))))
 }
 
 // splitmix64 is the SplitMix64 finalizer (Steele, Lea & Flood): a

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+const smallSWF = `; Version: 2.2
+; Computer: test cluster
+1 0 -1 10 2 -1 -1 2 -1 -1 1 7 -1 -1 -1 -1 -1 -1
+2 5 -1 -1 1 -1 -1 1 -1 -1 0 8 -1 -1 -1 -1 -1 -1
+3 9 -1 4 1 -1 -1 1 -1 -1 1 7 -1 -1 -1 -1 -1 -1
+`
+
+func TestReaderStreamsRecords(t *testing.T) {
+	r := NewReader(strings.NewReader(smallSWF))
+	var jobs []Job
+	for {
+		j, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("streamed %d jobs, want 2 (one record has runtime -1)", len(jobs))
+	}
+	if r.Skipped() != 1 {
+		t.Fatalf("skipped = %d, want 1", r.Skipped())
+	}
+	if len(r.Header()) != 2 || !strings.HasPrefix(r.Header()[0], "Version") {
+		t.Fatalf("header = %v", r.Header())
+	}
+	if jobs[0].ID != 1 || jobs[0].Runtime != 10 || jobs[0].Procs != 2 || jobs[1].Submit != 9 {
+		t.Fatalf("records misparsed: %+v", jobs)
+	}
+	// Exhausted readers keep returning EOF.
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("post-EOF Next: %v", err)
+	}
+}
+
+// The old Scanner-based parser aborted the whole parse on any line over
+// 1 MiB — archive traces with long header comments hit that. The
+// streaming reader has no line cap.
+func TestNoLineLengthCap(t *testing.T) {
+	long := "; " + strings.Repeat("x", 3*1024*1024)
+	input := long + "\n" + "1 0 -1 10 1 -1 -1 1 -1 -1 1 7 -1 -1 -1 -1 -1 -1\n"
+
+	tr, skipped, err := ParseSWF(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseSWF rejected a 3 MiB header line: %v", err)
+	}
+	if skipped != 0 || len(tr.Jobs) != 1 {
+		t.Fatalf("parse after long line: %d jobs, %d skipped", len(tr.Jobs), skipped)
+	}
+	if len(tr.Header) != 1 || len(tr.Header[0]) != 3*1024*1024 {
+		t.Fatalf("long header lost: %d entries", len(tr.Header))
+	}
+}
+
+func TestReaderMalformedLines(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",                   // too few fields
+		"a b c d e f g h i j k l\n", // non-numeric
+	}
+	for _, in := range cases {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.Next(); err == nil || err == io.EOF {
+			t.Errorf("Next(%q) = %v, want parse error", in, err)
+		}
+	}
+}
+
+func TestReaderNoTrailingNewline(t *testing.T) {
+	r := NewReader(strings.NewReader("1 0 -1 10 1 -1 -1 1 -1 -1 1 7 -1 -1 -1 -1 -1 -1"))
+	j, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.ID != 1 || j.Runtime != 10 {
+		t.Fatalf("record misparsed: %+v", j)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+// Reader and ParseSWF must agree record for record (ParseSWF is the
+// batch wrapper of the reader, plus its submit-order sort).
+func TestReaderMatchesParseSWF(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("; generated\n")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "%d %d -1 %d %d -1 -1 %d -1 -1 1 %d -1 -1 -1 -1 -1 -1\n",
+			i, (i*37)%500, 1+i%9, 1+i%4, 1+i%4, i%13)
+	}
+	tr, skipped, err := ParseSWF(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(strings.NewReader(b.String()))
+	n := 0
+	for {
+		_, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != len(tr.Jobs) || r.Skipped() != skipped {
+		t.Fatalf("reader saw %d jobs (%d skipped), ParseSWF %d (%d)", n, r.Skipped(), len(tr.Jobs), skipped)
+	}
+}

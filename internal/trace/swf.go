@@ -12,8 +12,6 @@ import (
 	"io"
 	"math/rand"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/model"
 )
@@ -35,67 +33,28 @@ type Trace struct {
 	Jobs   []Job
 }
 
-// ParseSWF reads an SWF stream. Comment lines (';') become the header;
-// records with non-positive runtime or unparsable fields are skipped
-// (the archive marks failed jobs with -1), counting them in skipped.
+// ParseSWF reads a whole SWF stream into memory. Comment lines (';')
+// become the header; records with non-positive runtime or unparsable
+// fields are skipped (the archive marks failed jobs with -1), counting
+// them in skipped. It is the batch form of the streaming Reader — same
+// grammar, no line-length cap — for workloads that fit in memory; the
+// incremental engine feeds from a Reader directly instead.
 func ParseSWF(r io.Reader) (t *Trace, skipped int, err error) {
 	t = &Trace{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case line == "":
-			continue
-		case strings.HasPrefix(line, ";"):
-			t.Header = append(t.Header, strings.TrimSpace(strings.TrimPrefix(line, ";")))
-			continue
+	sr := NewReader(r)
+	for {
+		j, err := sr.Next()
+		if err == io.EOF {
+			break
 		}
-		fields := strings.Fields(line)
-		if len(fields) < 12 {
-			return nil, skipped, fmt.Errorf("trace: line %d has %d fields, want >= 12", lineNo, len(fields))
-		}
-		nums := make([]int64, 12)
-		bad := false
-		for i := 0; i < 12; i++ {
-			v, perr := strconv.ParseInt(fields[i], 10, 64)
-			if perr != nil {
-				bad = true
-				break
-			}
-			nums[i] = v
-		}
-		if bad {
-			return nil, skipped, fmt.Errorf("trace: line %d has non-numeric fields", lineNo)
-		}
-		j := Job{
-			ID:      int(nums[0]),
-			Submit:  model.Time(nums[1]),
-			Runtime: model.Time(nums[3]),
-			Procs:   int(nums[4]),
-			User:    int(nums[11]),
-			Status:  int(nums[10]),
-		}
-		if j.Procs <= 0 {
-			if len(fields) >= 8 {
-				if req, perr := strconv.ParseInt(fields[7], 10, 64); perr == nil && req > 0 {
-					j.Procs = int(req)
-				}
-			}
-		}
-		if j.Runtime <= 0 || j.Procs <= 0 || j.Submit < 0 {
-			skipped++
-			continue
+		if err != nil {
+			return nil, sr.Skipped(), err
 		}
 		t.Jobs = append(t.Jobs, j)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, skipped, fmt.Errorf("trace: %w", err)
-	}
+	t.Header = append(t.Header, sr.Header()...)
 	sort.SliceStable(t.Jobs, func(a, b int) bool { return t.Jobs[a].Submit < t.Jobs[b].Submit })
-	return t, skipped, nil
+	return t, sr.Skipped(), nil
 }
 
 // WriteSWF emits the trace in SWF: 18 fields per record, unknown fields
