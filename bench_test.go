@@ -24,6 +24,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/fed"
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -298,6 +299,61 @@ func BenchmarkAblationShapley(b *testing.B) {
 			shapley.SampleStratified(g, rounds, r)
 		}
 	})
+}
+
+// BenchmarkFederation measures federated multi-cluster scheduling
+// end-to-end: the default three-cluster diurnal scenario is generated
+// once, then driven through internal/fed under each delegation policy
+// with two per-cluster algorithm rosters (the polynomial DIRECTCONTR
+// everywhere, and exponential REF everywhere). Reported metrics:
+// "offload%" (jobs crossing cluster boundaries) and "value" (the
+// federation-wide coalition value Σ_c v_c).
+func BenchmarkFederation(b *testing.B) {
+	scen := gen.DefaultFedScenario()
+	scen.Base = scen.Base.Scale(0.15)
+	const fedHorizon = model.Time(4000)
+	w, err := scen.Generate(fedHorizon, stats.NewRand(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	algs := map[string]func() core.StepperAlgorithm{
+		"directcontr": func() core.StepperAlgorithm { return core.DirectContrAlgorithm().(core.StepperAlgorithm) },
+		"ref":         func() core.StepperAlgorithm { return core.RefAlgorithm{} },
+	}
+	for _, algName := range []string{"directcontr", "ref"} {
+		for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}} {
+			policy := policy
+			mk := algs[algName]
+			b.Run(fmt.Sprintf("%s/%s", algName, policy.Name()), func(b *testing.B) {
+				var offload, value float64
+				for i := 0; i < b.N; i++ {
+					specs := make([]fed.ClusterSpec, len(w.Machines))
+					for c := range specs {
+						specs[c] = fed.ClusterSpec{
+							Name: fmt.Sprintf("site%d", c), Alg: mk(), Machines: w.Machines[c],
+						}
+					}
+					f, err := fed.New(w.Orgs, specs, policy, 42)
+					if err != nil {
+						b.Fatal(err)
+					}
+					for c, js := range w.Jobs {
+						if err := f.SubmitJobs(c, js); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := f.Step(fedHorizon); err != nil {
+						b.Fatal(err)
+					}
+					l := f.Ledger()
+					offload = 100 * l.OffloadedFraction()
+					value = float64(l.FederationValue())
+				}
+				b.ReportMetric(offload, "offload%")
+				b.ReportMetric(value, "value")
+			})
+		}
+	}
 }
 
 // BenchmarkSimulator measures raw engine throughput (job starts per

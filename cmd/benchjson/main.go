@@ -1,15 +1,17 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON document, so CI can archive the performance
-// trajectory (BENCH_2.json) instead of throwing benchmark numbers away
+// trajectory (BENCH_3.json) instead of throwing benchmark numbers away
 // in job logs:
 //
-//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson > BENCH_2.json
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson > BENCH_3.json
 //
-// Each benchmark line becomes one record with the raw name, ns/op, and
-// the decomposed sub-benchmark path: `key=value` segments (orgs=8,
-// N=15, workers=4) land in "params", the remaining segments identify
-// the benchmark and algorithm — enough to plot ns/op per algorithm and
-// organization count across PRs without re-parsing Go's text format.
+// Each benchmark line becomes one record with the raw name, ns/op,
+// every further reported metric (B/op, delay/job, offload%, …) keyed
+// by unit, and the decomposed sub-benchmark path: `key=value` segments
+// (orgs=8, N=15, workers=4) land in "params", the remaining segments
+// identify the benchmark and algorithm — enough to plot any metric per
+// algorithm and organization count across PRs without re-parsing Go's
+// text format.
 package main
 
 import (
@@ -36,6 +38,11 @@ type Record struct {
 	Params     map[string]string `json:"params,omitempty"`
 	Iterations int64             `json:"iterations"`
 	NsPerOp    float64           `json:"ns_per_op"`
+	// Metrics holds every further "value unit" pair on the line —
+	// Go's own (B/op, allocs/op) and b.ReportMetric customs like
+	// "delay/job" (the tables' Δψ/p_tot) or the federation
+	// benchmark's "offload%" and "value" — keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // Report is the document benchjson emits.
@@ -87,17 +94,23 @@ func parseLine(line string) (Record, bool) {
 	if err != nil {
 		return Record{}, false
 	}
-	// Find the "ns/op" unit; its value precedes it.
+	// Benchmark lines are "value unit" pairs after the iteration
+	// count: ns/op is required, everything else lands in Metrics.
 	ns := -1.0
-	for i := 3; i < len(fields); i++ {
-		if fields[i] == "ns/op" {
-			v, err := strconv.ParseFloat(fields[i-1], 64)
-			if err != nil {
-				return Record{}, false
-			}
-			ns = v
-			break
+	var metrics map[string]float64
+	for i := 3; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i-1], 64)
+		if err != nil {
+			return Record{}, false
 		}
+		if fields[i] == "ns/op" {
+			ns = v
+			continue
+		}
+		if metrics == nil {
+			metrics = map[string]float64{}
+		}
+		metrics[fields[i]] = v
 	}
 	if ns < 0 {
 		return Record{}, false
@@ -109,7 +122,7 @@ func parseLine(line string) (Record, bool) {
 			name = name[:i]
 		}
 	}
-	rec := Record{Name: name, Iterations: iters, NsPerOp: ns}
+	rec := Record{Name: name, Iterations: iters, NsPerOp: ns, Metrics: metrics}
 	segs := strings.Split(strings.TrimPrefix(name, "Benchmark"), "/")
 	rec.Benchmark = segs[0]
 	for _, seg := range segs[1:] {

@@ -12,6 +12,7 @@ BenchmarkTable1/lpc-egee/Rand(N=15)-8         	       1	 123456789 ns/op
 BenchmarkAblationREFScaling/orgs=8/heap-8     	       1	  98765432 ns/op	  1234 B/op	   56 allocs/op
 BenchmarkAblationRandWorkers/workers=4-8      	       2	   5000000 ns/op
 BenchmarkUtilityPsi-8                         	1000000	       105.3 ns/op
+BenchmarkFederation/ref/fairness-8            	       1	   1096000 ns/op	        42.21 offload%	 188284152 value
 PASS
 ok  	repro	12.3s
 `
@@ -24,8 +25,8 @@ func TestParse(t *testing.T) {
 	if report.Format != "go-bench-json/1" {
 		t.Fatalf("format = %q", report.Format)
 	}
-	if len(report.Benchmarks) != 4 {
-		t.Fatalf("parsed %d benchmarks, want 4", len(report.Benchmarks))
+	if len(report.Benchmarks) != 5 {
+		t.Fatalf("parsed %d benchmarks, want 5", len(report.Benchmarks))
 	}
 	b := report.Benchmarks
 
@@ -37,6 +38,13 @@ func TestParse(t *testing.T) {
 	}
 	if b[1].NsPerOp != 98765432 {
 		t.Errorf("record 1 ns/op with extra metrics: %+v", b[1])
+	}
+	if b[1].Metrics["B/op"] != 1234 || b[1].Metrics["allocs/op"] != 56 {
+		t.Errorf("record 1 metrics: %+v", b[1].Metrics)
+	}
+	if b[4].Benchmark != "Federation" || b[4].Algorithm != "ref/fairness" ||
+		b[4].Metrics["offload%"] != 42.21 || b[4].Metrics["value"] != 188284152 {
+		t.Errorf("record 4 custom metrics: %+v", b[4])
 	}
 	if b[2].Params["workers"] != "4" || b[2].Algorithm != "" {
 		t.Errorf("record 2: %+v", b[2])

@@ -1,125 +1,174 @@
-// Command fairschedd is the serving daemon: it holds one incremental
-// scheduling run open and accepts job submissions over HTTP/JSON,
-// streaming scheduling decisions back as the clock is advanced.
+// Command fairschedd is the serving daemon: one process holds many
+// concurrent scheduling runs open — single-cluster engine runs and
+// federated multi-cluster runs — managed as sessions over HTTP/JSON.
 //
 //	fairschedd -addr :8080 -alg ref -orgs 3 -machines 6
 //
-// Jobs arrive online (the machine pool is fixed at startup, the job
-// list starts empty), the engine clock advances on request, and the
-// full deterministic state can be checkpointed and restored through
-// the API or preloaded at boot:
+// The flags above boot a classic single run as the session named
+// "default", served both at /v1/sessions/default/... and at the
+// legacy single-run paths (/v1/jobs, /v1/advance, ...). Further
+// sessions — including federations — are created at runtime:
 //
-//	curl -X POST localhost:8080/v1/jobs -d '{"jobs":[{"org":0,"size":5}]}'
-//	curl -X POST localhost:8080/v1/advance -d '{"until":100}'
-//	curl localhost:8080/v1/state
-//	curl localhost:8080/v1/checkpoint > run.ckpt
-//	fairschedd -addr :8080 -alg ref -orgs 3 -machines 6 -restore run.ckpt
+//	curl -X POST localhost:8080/v1/sessions -d '{"id":"f1","kind":"federation",
+//	  "org_names":["a","b"],"policy":"fairness",
+//	  "clusters":[{"name":"east","alg":"ref","machines":[2,0]},
+//	              {"name":"west","alg":"directcontr","machines":[0,2]}]}'
+//	curl -X POST localhost:8080/v1/sessions/f1/jobs -d '{"jobs":[{"cluster":0,"org":0,"size":5}]}'
+//	curl -X POST localhost:8080/v1/sessions/f1/advance -d '{"until":100}'
+//	curl localhost:8080/v1/sessions/f1/state
 //
-// See internal/engine for the endpoint reference.
+// With -checkpoint-dir, a SIGINT/SIGTERM triggers a graceful shutdown
+// that flushes a final checkpoint envelope for every live session
+// before exit, and the next boot with the same directory resumes them
+// all. -restore preloads the default session from a raw engine
+// checkpoint (the pre-session format).
+//
+// See internal/daemon for the endpoint reference.
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/engine"
-	"repro/internal/exp"
-	"repro/internal/model"
-	"repro/internal/stats"
+	"repro/internal/daemon"
 )
 
+// app is a built daemon: the session manager plus the serving options.
+type app struct {
+	srv     *daemon.Server
+	addr    string
+	ckptDir string
+}
+
 func main() {
-	srv, addr, err := build(os.Args[1:], os.Stderr)
+	a, err := build(os.Args[1:], os.Stderr)
 	if errors.Is(err, flag.ErrHelp) {
 		return
 	}
 	fail(err)
-	fmt.Fprintf(os.Stderr, "fairschedd: serving on %s\n", addr)
-	fail(http.ListenAndServe(addr, srv.Handler()))
+	httpSrv := &http.Server{Addr: a.addr, Handler: a.srv.Handler()}
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		defer close(done)
+		<-sig
+		a.shutdown(httpSrv, os.Stderr)
+	}()
+	fmt.Fprintf(os.Stderr, "fairschedd: serving on %s\n", a.addr)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fail(err)
+	}
+	<-done
 }
 
-// build constructs the server from command-line arguments; split from
-// main so the smoke tests exercise the full boot path without binding
-// a socket.
-func build(args []string, stderr io.Writer) (*engine.Server, string, error) {
+// shutdown drains the HTTP server, then flushes a final checkpoint for
+// every live session (when a checkpoint directory is configured) so no
+// run state is lost on SIGINT/SIGTERM.
+func (a *app) shutdown(httpSrv *http.Server, stderr io.Writer) {
+	fmt.Fprintln(stderr, "fairschedd: shutting down")
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(stderr, "fairschedd: http shutdown:", err)
+		}
+	}
+	if a.ckptDir == "" {
+		return
+	}
+	paths, err := a.srv.Manager().FlushAll(a.ckptDir)
+	if err != nil {
+		fmt.Fprintln(stderr, "fairschedd: final checkpoint flush:", err)
+	}
+	fmt.Fprintf(stderr, "fairschedd: flushed %d session checkpoint(s) to %s\n", len(paths), a.ckptDir)
+}
+
+// build constructs the daemon from command-line arguments; split from
+// main so tests exercise the full boot path — including session
+// reload — without binding a socket.
+func build(args []string, stderr io.Writer) (*app, error) {
 	fs := flag.NewFlagSet("fairschedd", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
 		addr     = fs.String("addr", ":8080", "HTTP listen address")
-		algName  = fs.String("alg", "ref", "algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
-		orgs     = fs.Int("orgs", 3, "number of organizations")
-		machines = fs.Int("machines", 0, "total machines (0 = #orgs)")
-		split    = fs.String("split", "zipf", "machine split among organizations: zipf | uniform")
-		seed     = fs.Int64("seed", 1, "random seed")
+		algName  = fs.String("alg", "ref", "default session algorithm: ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin, fcfs")
+		orgs     = fs.Int("orgs", 3, "default session: number of organizations")
+		machines = fs.Int("machines", 0, "default session: total machines (0 = #orgs)")
+		split    = fs.String("split", "zipf", "default session machine split: zipf | uniform")
+		seed     = fs.Int64("seed", 1, "default session random seed")
 		samples  = fs.Int("rand-n", 15, "RAND sample count")
 		strat    = fs.Bool("rand-stratified", false, "RAND: draw permutations in position-stratified rotations")
 		workers  = fs.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
 		driver   = fs.String("ref-driver", "heap", "REF event loop: heap or scan")
-		restore  = fs.String("restore", "", "checkpoint file to resume from")
+		restore  = fs.String("restore", "", "engine checkpoint file to resume the default session from")
+		ckptDir  = fs.String("checkpoint-dir", "", "directory for session checkpoints: reloaded at boot, flushed on graceful shutdown")
+		noDef    = fs.Bool("no-default-session", false, "start with an empty session table (sessions created via the API only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
-			return nil, "", err
+			return nil, err
 		}
 		// The FlagSet already printed the error and usage to stderr.
-		return nil, "", errors.New("invalid arguments")
+		return nil, errors.New("invalid arguments")
 	}
-	refDriver, err := core.ParseRefDriver(*driver)
-	if err != nil {
-		return nil, "", err
-	}
-	alg, err := exp.AlgorithmByName(*algName, *samples,
-		core.RefOptions{Parallel: true, Workers: *workers, Driver: refDriver},
-		core.RandOptions{Workers: *workers, Stratified: *strat})
-	if err != nil {
-		return nil, "", err
-	}
-	stepper, ok := alg.(core.StepperAlgorithm)
-	if !ok {
-		return nil, "", fmt.Errorf("algorithm %q cannot run incrementally", alg.Name())
-	}
-
-	var e *engine.Engine
-	if *restore != "" {
-		data, err := os.ReadFile(*restore)
+	mgr := daemon.NewManager()
+	if *ckptDir != "" {
+		ids, err := mgr.LoadDir(*ckptDir)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		if e, err = engine.Restore(stepper, data); err != nil {
-			return nil, "", err
+		if len(ids) > 0 {
+			fmt.Fprintf(stderr, "fairschedd: restored session(s) %s from %s\n", strings.Join(ids, ", "), *ckptDir)
 		}
-		fmt.Fprintf(stderr, "fairschedd: restored %s at t=%d with %d jobs\n",
-			stepper.Name(), e.Now(), len(e.Instance().Jobs))
-	} else {
+	}
+	if _, exists := mgr.Get(daemon.DefaultSession); !exists && !*noDef {
 		if *orgs < 1 {
-			return nil, "", fmt.Errorf("need at least one organization")
+			return nil, fmt.Errorf("need at least one organization")
 		}
-		total := *machines
-		if total <= 0 {
-			total = *orgs
+		cfg := daemon.SessionConfig{
+			Kind:        daemon.KindSingle,
+			Alg:         *algName,
+			Orgs:        *orgs,
+			Machines:    *machines,
+			Split:       *split,
+			Seed:        *seed,
+			RandSamples: *samples,
+			Stratified:  *strat,
+			RefDriver:   *driver,
+			Workers:     *workers,
 		}
-		var splits []int
-		if *split == "uniform" {
-			splits = stats.UniformSplit(total, *orgs)
-		} else {
-			splits = stats.ZipfSplit(total, *orgs, 1)
-		}
-		orgList := make([]model.Org, *orgs)
-		for i := range orgList {
-			orgList[i] = model.Org{Name: fmt.Sprintf("org%d", i), Machines: splits[i]}
-		}
-		inst, err := model.NewInstance(orgList, nil)
+		sess, err := mgr.Create(daemon.DefaultSession, cfg)
 		if err != nil {
-			return nil, "", err
+			return nil, err
 		}
-		e = engine.New(stepper, inst, *seed)
+		if *restore != "" {
+			data, err := os.ReadFile(*restore)
+			if err != nil {
+				return nil, err
+			}
+			if err := sess.Restore(data); err != nil {
+				return nil, err
+			}
+			st := sess.State()
+			fmt.Fprintf(stderr, "fairschedd: restored %s at t=%d with %d jobs\n", st.Algorithm, st.Now, st.Jobs)
+		}
+	} else if *restore != "" {
+		// -restore targets a fresh default session only: refusing beats
+		// silently serving a -checkpoint-dir state the operator did not
+		// ask for (or dropping the file under -no-default-session).
+		return nil, fmt.Errorf("-restore conflicts with an existing %q session (reloaded from -checkpoint-dir?) or -no-default-session", daemon.DefaultSession)
 	}
-	return engine.NewServer(e), *addr, nil
+	return &app{srv: daemon.NewServer(mgr), addr: *addr, ckptDir: *ckptDir}, nil
 }
 
 func fail(err error) {

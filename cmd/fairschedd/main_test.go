@@ -10,41 +10,61 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/daemon"
 )
 
 func TestBuildFlagParsing(t *testing.T) {
 	var stderr bytes.Buffer
-	srv, addr, err := build([]string{"-alg", "directcontr", "-orgs", "4", "-machines", "8", "-addr", ":9999"}, &stderr)
+	a, err := build([]string{"-alg", "directcontr", "-orgs", "4", "-machines", "8", "-addr", ":9999"}, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if srv == nil || addr != ":9999" {
-		t.Fatalf("build: srv=%v addr=%q", srv, addr)
+	if a == nil || a.addr != ":9999" {
+		t.Fatalf("build: app=%v", a)
 	}
-	if _, _, err := build([]string{"-alg", "nope"}, &stderr); err == nil {
+	if _, ok := a.srv.Manager().Get(daemon.DefaultSession); !ok {
+		t.Fatal("boot did not create the default session")
+	}
+	if _, err := build([]string{"-alg", "nope"}, &stderr); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, _, err := build([]string{"-orgs", "0"}, &stderr); err == nil {
+	if _, err := build([]string{"-orgs", "0"}, &stderr); err == nil {
 		t.Fatal("zero organizations accepted")
 	}
-	if _, _, err := build([]string{"-ref-driver", "bogus"}, &stderr); err == nil {
+	if _, err := build([]string{"-no-default-session", "-restore", "whatever.ckpt"}, &stderr); err == nil {
+		t.Fatal("-restore without a fresh default session accepted")
+	}
+	if _, err := build([]string{"-rand-stratified", "-alg", "rand"}, &stderr); err != nil {
+		t.Fatalf("-rand-stratified rejected: %v", err)
+	}
+	if _, err := build([]string{"-ref-driver", "bogus"}, &stderr); err == nil {
 		t.Fatal("unknown REF driver accepted")
 	}
-	if _, _, err := build([]string{"-restore", "/nonexistent/ckpt"}, &stderr); err == nil {
+	if _, err := build([]string{"-restore", "/nonexistent/ckpt"}, &stderr); err == nil {
 		t.Fatal("missing checkpoint file accepted")
+	}
+	a, err = build([]string{"-no-default-session"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.srv.Manager().Get(daemon.DefaultSession); ok {
+		t.Fatal("-no-default-session still created a default session")
 	}
 }
 
-// End-to-end daemon smoke: boot from flags, submit jobs over HTTP,
-// advance, drain decisions, checkpoint to disk, and boot a second
-// daemon from that checkpoint.
+// End-to-end daemon smoke over the legacy single-run endpoints: boot
+// from flags, submit jobs over HTTP, advance, drain decisions,
+// checkpoint to disk, and boot a second daemon from that checkpoint.
+// These are the pre-session paths, kept as aliases of the "default"
+// session.
 func TestDaemonRoundTripAndRestore(t *testing.T) {
 	var stderr bytes.Buffer
-	srv, _, err := build([]string{"-alg", "ref", "-orgs", "2", "-machines", "3", "-seed", "7"}, &stderr)
+	a, err := build([]string{"-alg", "ref", "-orgs", "2", "-machines", "3", "-seed", "7"}, &stderr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler())
+	ts := httptest.NewServer(a.srv.Handler())
 	defer ts.Close()
 
 	post := func(path, body string) map[string]any {
@@ -83,11 +103,11 @@ func TestDaemonRoundTripAndRestore(t *testing.T) {
 	}
 
 	stderr.Reset()
-	srv2, _, err := build([]string{"-alg", "ref", "-restore", ckpt}, &stderr)
+	a2, err := build([]string{"-alg", "ref", "-restore", ckpt}, &stderr)
 	if err != nil {
 		t.Fatalf("boot from checkpoint: %v", err)
 	}
-	ts2 := httptest.NewServer(srv2.Handler())
+	ts2 := httptest.NewServer(a2.srv.Handler())
 	defer ts2.Close()
 	resp, err = ts2.Client().Get(ts2.URL + "/v1/state")
 	if err != nil {
@@ -112,17 +132,90 @@ func TestDaemonRoundTripAndRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp2.Body.Close()
-	resp3, err := ts2.Client().Post(ts2.URL+"/v1/advance", "application/json", strings.NewReader(`{"until":40}`))
+	adv2 := post2(t, ts2, "/v1/advance", `{"until":40}`)
+	if n := len(adv2["decisions"].([]any)); n != 1 {
+		t.Fatalf("restored daemon scheduled %d jobs, want 1: %v", n, adv2)
+	}
+}
+
+func post2(t *testing.T, ts *httptest.Server, path, body string) map[string]any {
+	t.Helper()
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw, _ = io.ReadAll(resp3.Body)
-	resp3.Body.Close()
-	var adv2 map[string]any
-	if err := json.Unmarshal(raw, &adv2); err != nil {
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %d: %s", path, resp.StatusCode, raw)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(raw, &out); err != nil {
 		t.Fatal(err)
 	}
-	if n := len(adv2["decisions"].([]any)); n != 1 {
-		t.Fatalf("restored daemon scheduled %d jobs, want 1: %s", n, raw)
+	return out
+}
+
+// TestGracefulShutdownFlushesSessions: on SIGINT/SIGTERM the daemon
+// flushes a final checkpoint for every live session, and a later boot
+// pointed at the same directory resumes them all mid-run.
+func TestGracefulShutdownFlushesSessions(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	var stderr bytes.Buffer
+	a, err := build([]string{"-alg", "directcontr", "-orgs", "2", "-checkpoint-dir", dir}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.Handler())
+
+	// A second, federated session alongside the default one.
+	post2(t, ts, "/v1/jobs", `{"jobs":[{"org":0,"size":4},{"org":1,"size":2}]}`)
+	post2(t, ts, "/v1/advance", `{"until":10}`)
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(`{
+	  "id":"fedrun","kind":"federation","org_names":["a","b"],"policy":"leastloaded","seed":3,
+	  "clusters":[{"name":"east","alg":"directcontr","machines":[2,0]},
+	              {"name":"west","alg":"directcontr","machines":[0,1]}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("create federated session: %d: %s", resp.StatusCode, raw)
+	}
+	resp.Body.Close()
+	post2(t, ts, "/v1/sessions/fedrun/jobs", `{"jobs":[{"cluster":0,"org":0,"size":5},{"cluster":0,"org":1,"size":3}]}`)
+	post2(t, ts, "/v1/sessions/fedrun/advance", `{"until":6}`)
+	ts.Close()
+
+	// The signal path: shutdown drains HTTP and flushes every session.
+	a.shutdown(nil, &stderr)
+	if !strings.Contains(stderr.String(), "flushed 2 session checkpoint(s)") {
+		t.Fatalf("shutdown log missing flush notice: %q", stderr.String())
+	}
+	for _, name := range []string{"default.session.json", "fedrun.session.json"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing flushed envelope: %v", err)
+		}
+	}
+
+	// Next boot resumes both sessions exactly where they stopped.
+	stderr.Reset()
+	b, err := build([]string{"-checkpoint-dir", dir}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr.String(), "restored session(s) default, fedrun") {
+		t.Fatalf("boot log missing reload notice: %q", stderr.String())
+	}
+	def, _ := b.srv.Manager().Get(daemon.DefaultSession)
+	if st := def.State(); st.Now != 10 || st.Jobs != 2 {
+		t.Fatalf("default session resumed wrong: %+v", st)
+	}
+	fr, ok := b.srv.Manager().Get("fedrun")
+	if !ok {
+		t.Fatal("federated session not resumed")
+	}
+	if st := fr.State(); st.Now != 6 || st.Kind != daemon.KindFederation || st.Jobs != 2 {
+		t.Fatalf("federated session resumed wrong: %+v", st)
 	}
 }

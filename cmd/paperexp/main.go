@@ -11,12 +11,15 @@
 // Workload families are scaled-down replicas of the archive traces by
 // default (see DESIGN.md); -scale=full restores the original processor
 // counts (slow). -instances controls the number of sampled sub-traces
-// per cell (the paper uses 100).
+// per cell (the paper uses 100). -horizon1/-horizon2 override the two
+// table horizons — the paper's values are the defaults; tiny values
+// make smoke runs cheap.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/core"
@@ -26,29 +29,46 @@ import (
 )
 
 func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "paperexp:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the experiment selection; split from main so the CLI
+// smoke tests drive the full path with tiny budgets.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("paperexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		table1    = flag.Bool("table1", false, "reproduce Table 1 (horizon 5e4)")
-		table2    = flag.Bool("table2", false, "reproduce Table 2 (horizon 5e5)")
-		fig10     = flag.Bool("fig10", false, "reproduce Figure 10 (unfairness vs #organizations)")
-		fig7      = flag.Bool("fig7", false, "reproduce Figure 7 (greedy utilization gap)")
-		fig2      = flag.Bool("fig2", false, "reproduce Figure 2 (worked utility example)")
-		all       = flag.Bool("all", false, "reproduce everything")
-		instances = flag.Int("instances", 20, "instances per cell (paper: 100)")
-		samples   = flag.Int("rand-n", 15, "RAND sample count N (paper: 15 and 75)")
-		seed      = flag.Int64("seed", 1, "base random seed")
-		scale     = flag.String("scale", "small", "workload scale: small | full")
-		maxOrgs   = flag.Int("max-orgs", 7, "largest organization count for -fig10 (paper: 10)")
-		workers   = flag.Int("workers", 0, "parallel instance workers (0 = GOMAXPROCS)")
-		rotate    = flag.Bool("rotate", false, "use REF's within-instant rotation mode")
-		driver    = flag.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
+		table1    = fs.Bool("table1", false, "reproduce Table 1 (horizon 5e4)")
+		table2    = fs.Bool("table2", false, "reproduce Table 2 (horizon 5e5)")
+		fig10     = fs.Bool("fig10", false, "reproduce Figure 10 (unfairness vs #organizations)")
+		fig7      = fs.Bool("fig7", false, "reproduce Figure 7 (greedy utilization gap)")
+		fig2      = fs.Bool("fig2", false, "reproduce Figure 2 (worked utility example)")
+		all       = fs.Bool("all", false, "reproduce everything")
+		instances = fs.Int("instances", 20, "instances per cell (paper: 100)")
+		samples   = fs.Int("rand-n", 15, "RAND sample count N (paper: 15 and 75)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		scale     = fs.String("scale", "small", "workload scale: small | full")
+		maxOrgs   = fs.Int("max-orgs", 7, "largest organization count for -fig10 (paper: 10)")
+		workers   = fs.Int("workers", 0, "parallel instance workers (0 = GOMAXPROCS)")
+		rotate    = fs.Bool("rotate", false, "use REF's within-instant rotation mode")
+		driver    = fs.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
+		horizon1  = fs.Int64("horizon1", 50000, "Table 1 / Figure 10 horizon")
+		horizon2  = fs.Int64("horizon2", 500000, "Table 2 horizon")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *all) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("nothing selected (want -table1, -table2, -fig10, -fig7, -fig2 or -all)")
 	}
 	refDriver, err := core.ParseRefDriver(*driver)
-	fail(err)
+	if err != nil {
+		return err
+	}
 	refOpts := core.RefOptions{Rotate: *rotate, Parallel: true, Driver: refDriver}
 	configs := func(horizon model.Time) []exp.Config {
 		var out []exp.Config
@@ -70,41 +90,46 @@ func main() {
 
 	if *all || *fig2 {
 		r := exp.Figure2()
-		fmt.Println("=== Figure 2: the strategy-proof utility ψsp on a worked schedule ===")
-		fmt.Print(r.Gantt)
-		fmt.Print(r.Legend)
-		fmt.Printf("ψsp(O1, t=13) = %d   (paper: 262)\n", r.Psi13)
-		fmt.Printf("ψsp(O1, t=14) = %d   (paper: 297)\n", r.Psi14)
-		fmt.Printf("flow time(14) = %d   (paper: 70)\n\n", r.Flow14)
+		fmt.Fprintln(stdout, "=== Figure 2: the strategy-proof utility ψsp on a worked schedule ===")
+		fmt.Fprint(stdout, r.Gantt)
+		fmt.Fprint(stdout, r.Legend)
+		fmt.Fprintf(stdout, "ψsp(O1, t=13) = %d   (paper: 262)\n", r.Psi13)
+		fmt.Fprintf(stdout, "ψsp(O1, t=14) = %d   (paper: 297)\n", r.Psi14)
+		fmt.Fprintf(stdout, "flow time(14) = %d   (paper: 70)\n\n", r.Flow14)
 	}
 	if *all || *fig7 {
 		r := exp.Figure7()
-		fmt.Println("=== Figure 7: greedy algorithms and resource utilization (T=6) ===")
-		fmt.Println("O2 scheduled first:")
-		fmt.Print(r.GanttO2First)
-		fmt.Printf("utilization = %.2f   (paper: 1.00)\n", r.UtilizationO2First)
-		fmt.Println("O1 scheduled first:")
-		fmt.Print(r.GanttO1First)
-		fmt.Printf("utilization = %.2f   (paper: 0.75 — the tight 3/4 bound of Theorem 6.2)\n\n", r.UtilizationO1First)
+		fmt.Fprintln(stdout, "=== Figure 7: greedy algorithms and resource utilization (T=6) ===")
+		fmt.Fprintln(stdout, "O2 scheduled first:")
+		fmt.Fprint(stdout, r.GanttO2First)
+		fmt.Fprintf(stdout, "utilization = %.2f   (paper: 1.00)\n", r.UtilizationO2First)
+		fmt.Fprintln(stdout, "O1 scheduled first:")
+		fmt.Fprint(stdout, r.GanttO1First)
+		fmt.Fprintf(stdout, "utilization = %.2f   (paper: 0.75 — the tight 3/4 bound of Theorem 6.2)\n\n", r.UtilizationO1First)
 	}
 	if *all || *table1 {
-		t, err := exp.UnfairnessTable(configs(50000), algs)
-		fail(err)
-		fmt.Print(t.Render(fmt.Sprintf(
-			"=== Table 1: average job delay Δψ/p_tot, horizon 5·10⁴, %d instances, scale=%s ===",
-			*instances, *scale)))
-		fmt.Println()
+		t, err := exp.UnfairnessTable(configs(model.Time(*horizon1)), algs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.Render(fmt.Sprintf(
+			"=== Table 1: average job delay Δψ/p_tot, horizon %d, %d instances, scale=%s ===",
+			*horizon1, *instances, *scale)))
+		fmt.Fprintln(stdout)
 	}
 	if *all || *table2 {
-		t, err := exp.UnfairnessTable(configs(500000), algs)
-		fail(err)
-		fmt.Print(t.Render(fmt.Sprintf(
-			"=== Table 2: average job delay Δψ/p_tot, horizon 5·10⁵, %d instances, scale=%s ===",
-			*instances, *scale)))
-		fmt.Println()
+		t, err := exp.UnfairnessTable(configs(model.Time(*horizon2)), algs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.Render(fmt.Sprintf(
+			"=== Table 2: average job delay Δψ/p_tot, horizon %d, %d instances, scale=%s ===",
+			*horizon2, *instances, *scale)))
+		fmt.Fprintln(stdout)
 	}
 	if *all || *fig10 {
 		base := exp.DefaultConfig(gen.LPCEGEE())
+		base.Horizon = model.Time(*horizon1)
 		base.Instances = *instances
 		base.Seed = *seed
 		base.Workers = *workers
@@ -114,17 +139,13 @@ func main() {
 			ks = append(ks, k)
 		}
 		t, err := exp.OrgCountSweep(base, ks, algs)
-		fail(err)
-		fmt.Print(t.RenderSeries(fmt.Sprintf(
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.RenderSeries(fmt.Sprintf(
 			"=== Figure 10: Δψ/p_tot vs number of organizations (LPC-EGEE, %d instances) ===",
 			*instances)))
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
-}
-
-func fail(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "paperexp:", err)
-		os.Exit(1)
-	}
+	return nil
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyRun executes the CLI with scaled-down budgets and returns stdout.
+func tinyRun(t *testing.T, args ...string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v (stderr: %s)", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// The worked examples (Figures 2 and 7) are exact: the smoke test pins
+// the paper's numbers, not just the rendering.
+func TestRunFigures(t *testing.T) {
+	out := tinyRun(t, "-fig2", "-fig7")
+	for _, want := range []string{
+		"ψsp(O1, t=13) = 262",
+		"ψsp(O1, t=14) = 297",
+		"flow time(14) = 70",
+		"utilization = 1.00",
+		"utilization = 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The table harness end to end at a toy horizon: every family row
+// renders with every algorithm column.
+func TestRunTable1Tiny(t *testing.T) {
+	out := tinyRun(t, "-table1", "-horizon1", "300", "-instances", "1", "-rand-n", "2")
+	for _, want := range []string{"Table 1", "LPC-EGEE", "PIK-IPLEX", "SHARCNET-Whale", "RICC", "Rand(N=2)", "DirectContr", "FairShare"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The Figure 10 organization sweep at a toy horizon.
+func TestRunFig10Tiny(t *testing.T) {
+	out := tinyRun(t, "-fig10", "-horizon1", "200", "-instances", "1", "-rand-n", "2", "-max-orgs", "3")
+	for _, want := range []string{"Figure 10", "k=2", "k=3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, &stdout, &stderr); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+	if err := run([]string{"-table1", "-ref-driver", "bogus"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown REF driver accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -21,13 +21,22 @@
 //	                    each runnable incrementally (core.Stepper)
 //	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
 //	internal/engine   — incremental run engine: Feed/Step/Snapshot/Restore
-//	                    plus the HTTP serving layer
+//	                    plus the single-run HTTP serving layer
+//	internal/fed      — federated multi-cluster scheduling: N member
+//	                    clusters, pluggable delegation policies (local,
+//	                    least-loaded, fairness-aware), federation-wide
+//	                    contribution ledger, lockstep checkpoints
+//	internal/daemon   — multi-session serving layer: many concurrent
+//	                    runs (single or federated) managed over HTTP,
+//	                    flushed to checkpoint envelopes on shutdown
 //	internal/trace    — Standard Workload Format (SWF) reader/writer and
 //	                    the O(1)-memory streaming Reader
-//	internal/gen      — synthetic workload families
+//	internal/gen      — synthetic workload families and federated
+//	                    scenario generation (arrival skew, diurnal
+//	                    phase offsets, heterogeneous sites)
 //	internal/exp      — Table 1/2 and Figure 7/10 experiment runners
-//	cmd/...           — fairsched, fairschedd (daemon), paperexp, tracegen,
-//	                    benchjson executables
+//	cmd/...           — fairsched, fairschedd (multi-session daemon),
+//	                    paperexp, tracegen, benchjson executables
 //	examples/...      — runnable scenarios built on the public API
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for

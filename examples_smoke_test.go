@@ -1,0 +1,61 @@
+// Examples smoke harness: every examples/* main must build and run to
+// completion within a small budget, so the demos cannot silently rot
+// as the packages underneath them evolve. The examples are tiny by
+// design (sub-second runs); the generous timeout only guards against
+// hangs. Run by plain `go test` at the module root and therefore by
+// the CI race job.
+package repro_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke spawns the go tool; skipped in -short")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if _, err := os.Stat(filepath.Join("examples", name, "main.go")); err != nil {
+			continue
+		}
+		ran++
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			cmd := exec.CommandContext(ctx, "go", "run", "./examples/"+name)
+			cmd.Dir = root
+			out, err := cmd.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example %s exceeded its time budget", name)
+			}
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran < 6 {
+		t.Fatalf("smoke ran %d examples; the repo ships at least 6", ran)
+	}
+}

@@ -1,0 +1,640 @@
+// Package daemon is the multi-session serving layer behind
+// cmd/fairschedd: one process holds many concurrent scheduling runs
+// open — each session either a single-cluster engine run or a
+// federated multi-cluster run — created, inspected, advanced,
+// checkpointed and deleted over HTTP/JSON.
+//
+// Sessions are built from serializable SessionConfigs (algorithm and
+// policy names, not live values), so a session's full identity —
+// configuration plus engine snapshot — round-trips through a flushed
+// checkpoint Envelope: the daemon can stop, persist every live
+// session, and resume them all at next boot (see Manager.FlushAll and
+// Manager.LoadDir, wired to SIGINT/SIGTERM in cmd/fairschedd).
+//
+// Locking: the Manager guards the session table; each Session guards
+// its own run. Requests against different sessions proceed in
+// parallel, requests against one session serialize — the engine and
+// federation types are single-goroutine objects by contract.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/fed"
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Kinds of sessions.
+const (
+	KindSingle     = "single"
+	KindFederation = "federation"
+)
+
+// ClusterConfig is the wire form of one federation member cluster.
+type ClusterConfig struct {
+	Name     string `json:"name"`
+	Alg      string `json:"alg"`
+	Machines []int  `json:"machines"`
+}
+
+// SessionConfig is the serializable static configuration of a session.
+// Single-run fields mirror the classic fairschedd flags; federation
+// fields mirror fed.New. Algorithms and policies are referenced by
+// name so configurations survive checkpoint files.
+type SessionConfig struct {
+	Kind string `json:"kind"`
+
+	// Single-run configuration.
+	Alg      string `json:"alg,omitempty"`
+	Orgs     int    `json:"orgs,omitempty"`
+	Machines int    `json:"machines,omitempty"`
+	Split    string `json:"split,omitempty"`
+
+	// Federation configuration.
+	OrgNames []string        `json:"org_names,omitempty"`
+	Clusters []ClusterConfig `json:"clusters,omitempty"`
+	Policy   string          `json:"policy,omitempty"`
+
+	// Shared algorithm options.
+	Seed        int64  `json:"seed,omitempty"`
+	RandSamples int    `json:"rand_samples,omitempty"`
+	Stratified  bool   `json:"rand_stratified,omitempty"`
+	RefDriver   string `json:"ref_driver,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+}
+
+// buildAlg resolves an algorithm name with the config's shared options
+// into a stepper-capable algorithm.
+func (c SessionConfig) buildAlg(name string) (core.StepperAlgorithm, error) {
+	samples := c.RandSamples
+	if samples <= 0 {
+		samples = 15
+	}
+	driver, err := core.ParseRefDriver(defaultStr(c.RefDriver, "heap"))
+	if err != nil {
+		return nil, err
+	}
+	alg, err := exp.AlgorithmByName(name, samples,
+		core.RefOptions{Parallel: true, Workers: c.Workers, Driver: driver},
+		core.RandOptions{Workers: c.Workers, Stratified: c.Stratified})
+	if err != nil {
+		return nil, err
+	}
+	stepper, ok := alg.(core.StepperAlgorithm)
+	if !ok {
+		return nil, fmt.Errorf("daemon: algorithm %q cannot run incrementally", alg.Name())
+	}
+	return stepper, nil
+}
+
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// singleInstance builds the machine pool of a single-run session.
+func (c SessionConfig) singleInstance() (*model.Instance, error) {
+	orgs := c.Orgs
+	if orgs == 0 {
+		orgs = 3
+	}
+	if orgs < 1 {
+		return nil, fmt.Errorf("daemon: need at least one organization")
+	}
+	total := c.Machines
+	if total <= 0 {
+		total = orgs
+	}
+	var splits []int
+	switch defaultStr(c.Split, "zipf") {
+	case "uniform":
+		splits = stats.UniformSplit(total, orgs)
+	case "zipf":
+		splits = stats.ZipfSplit(total, orgs, 1)
+	default:
+		return nil, fmt.Errorf("daemon: unknown machine split %q (want zipf or uniform)", c.Split)
+	}
+	orgList := make([]model.Org, orgs)
+	for i := range orgList {
+		orgList[i] = model.Org{Name: fmt.Sprintf("org%d", i), Machines: splits[i]}
+	}
+	return model.NewInstance(orgList, nil)
+}
+
+// fedSpecs builds the federation member specs from the config.
+func (c SessionConfig) fedSpecs() ([]fed.ClusterSpec, error) {
+	if len(c.Clusters) == 0 {
+		return nil, fmt.Errorf("daemon: federation session needs at least one cluster")
+	}
+	specs := make([]fed.ClusterSpec, len(c.Clusters))
+	for i, cl := range c.Clusters {
+		alg, err := c.buildAlg(defaultStr(cl.Alg, "ref"))
+		if err != nil {
+			return nil, fmt.Errorf("daemon: cluster %d (%s): %w", i, cl.Name, err)
+		}
+		specs[i] = fed.ClusterSpec{
+			Name:     defaultStr(cl.Name, fmt.Sprintf("cluster%d", i)),
+			Alg:      alg,
+			Machines: cl.Machines,
+		}
+	}
+	return specs, nil
+}
+
+// Session is one live scheduling run. Exactly one of eng/fedn is set.
+type Session struct {
+	id  string
+	cfg SessionConfig
+
+	mu   sync.Mutex
+	eng  *engine.Engine
+	fedn *fed.Federation
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.id }
+
+// Kind returns KindSingle or KindFederation.
+func (s *Session) Kind() string { return s.cfg.Kind }
+
+// Config returns the session's static configuration.
+func (s *Session) Config() SessionConfig { return s.cfg }
+
+// newSession builds a fresh session from its configuration.
+func newSession(id string, cfg SessionConfig) (*Session, error) {
+	s := &Session{id: id, cfg: cfg}
+	switch cfg.Kind {
+	case KindSingle:
+		alg, err := cfg.buildAlg(defaultStr(cfg.Alg, "ref"))
+		if err != nil {
+			return nil, err
+		}
+		inst, err := cfg.singleInstance()
+		if err != nil {
+			return nil, err
+		}
+		s.eng = engine.New(alg, inst, cfg.Seed)
+	case KindFederation:
+		specs, err := cfg.fedSpecs()
+		if err != nil {
+			return nil, err
+		}
+		policy, err := fed.PolicyByName(defaultStr(cfg.Policy, "fairness"))
+		if err != nil {
+			return nil, err
+		}
+		f, err := fed.New(cfg.OrgNames, specs, policy, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		s.fedn = f
+	default:
+		return nil, fmt.Errorf("daemon: unknown session kind %q (want %q or %q)", cfg.Kind, KindSingle, KindFederation)
+	}
+	return s, nil
+}
+
+// JobSubmission is one submitted job. Release nil means "now" (the
+// session clock); Cluster names the origin cluster of a federated
+// submission and is ignored for single runs.
+type JobSubmission struct {
+	Cluster int         `json:"cluster,omitempty"`
+	Org     int         `json:"org"`
+	Size    model.Time  `json:"size"`
+	Release *model.Time `json:"release,omitempty"`
+}
+
+// Decision is the wire form of one scheduling decision. Job is the
+// engine job ID for single runs and the federation sequence number for
+// federated runs; Cluster identifies the executing cluster (always 0
+// for single runs).
+type Decision struct {
+	Job     int64      `json:"job"`
+	Org     int        `json:"org"`
+	Cluster int        `json:"cluster"`
+	Machine int        `json:"machine"`
+	At      model.Time `json:"at"`
+}
+
+func fromStarts(starts []sim.Start) []Decision {
+	out := make([]Decision, len(starts))
+	for i, st := range starts {
+		out[i] = Decision{Job: int64(st.Job), Org: st.Org, Machine: st.Machine, At: st.At}
+	}
+	return out
+}
+
+func fromFedDecisions(decs []fed.Decision) []Decision {
+	out := make([]Decision, len(decs))
+	for i, d := range decs {
+		out[i] = Decision{Job: d.Seq, Org: d.Org, Cluster: d.Cluster, Machine: d.Machine, At: d.At}
+	}
+	return out
+}
+
+// Submit feeds jobs into the session and returns their IDs (engine job
+// IDs or federation sequence numbers).
+func (s *Session) Submit(jobs []JobSubmission) ([]int64, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("daemon: no jobs submitted")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		batch := make([]model.Job, len(jobs))
+		for i, j := range jobs {
+			release := s.eng.Now()
+			if j.Release != nil {
+				release = *j.Release
+			}
+			batch[i] = model.Job{Org: j.Org, Size: j.Size, Release: release}
+		}
+		ids, err := s.eng.Feed(batch)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]int64, len(ids))
+		for i, id := range ids {
+			out[i] = int64(id)
+		}
+		return out, nil
+	}
+	out := make([]int64, 0, len(jobs))
+	for _, j := range jobs {
+		release := s.fedn.Now()
+		if j.Release != nil {
+			release = *j.Release
+		}
+		seq, err := s.fedn.Submit(j.Cluster, j.Org, j.Size, release)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, seq)
+	}
+	return out, nil
+}
+
+// Advance moves the session clock to *until, or to the next pending
+// event when until is nil, returning the fresh decisions.
+func (s *Session) Advance(until *model.Time) (model.Time, []Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		var (
+			starts []sim.Start
+			err    error
+		)
+		if until != nil {
+			starts, err = s.eng.Step(*until)
+		} else {
+			starts, _, err = s.eng.StepToNextEvent()
+		}
+		if err != nil {
+			return 0, nil, err
+		}
+		return s.eng.Now(), fromStarts(starts), nil
+	}
+	var (
+		decs []fed.Decision
+		err  error
+	)
+	if until != nil {
+		decs, err = s.fedn.Step(*until)
+	} else {
+		decs, _, err = s.fedn.StepToNextEvent()
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return s.fedn.Now(), fromFedDecisions(decs), nil
+}
+
+// ClusterState is one member cluster's row in a federated session's
+// state reply.
+type ClusterState struct {
+	Name      string     `json:"name"`
+	Now       model.Time `json:"now"`
+	Jobs      int        `json:"jobs"`
+	Waiting   int        `json:"waiting"`
+	Decisions int        `json:"decisions"`
+	Psi       []int64    `json:"psi"`
+	Value     int64      `json:"value"`
+	Executed  int64      `json:"executed"`
+}
+
+// StateReply is a session's state. Single runs fill Algorithm/Phi/
+// Utilization; federated runs fill Policy/Clusters/Pending/Offloaded,
+// with Psi the federation-wide vector and Value the federation-wide
+// coalition value.
+type StateReply struct {
+	ID          string         `json:"id,omitempty"`
+	Kind        string         `json:"kind,omitempty"`
+	Algorithm   string         `json:"algorithm,omitempty"`
+	Policy      string         `json:"policy,omitempty"`
+	Now         model.Time     `json:"now"`
+	NextEvent   *model.Time    `json:"next_event,omitempty"`
+	Jobs        int            `json:"jobs"`
+	Pending     int            `json:"pending,omitempty"`
+	Decisions   int            `json:"decisions"`
+	Psi         []int64        `json:"psi"`
+	Phi         []float64      `json:"phi,omitempty"`
+	Value       int64          `json:"value"`
+	Utilization float64        `json:"utilization,omitempty"`
+	Offloaded   int64          `json:"offloaded,omitempty"`
+	Clusters    []ClusterState `json:"clusters,omitempty"`
+}
+
+// State evaluates the session at its current clock.
+func (s *Session) State() StateReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		res := s.eng.Result()
+		reply := StateReply{
+			ID:          s.id,
+			Kind:        KindSingle,
+			Algorithm:   res.Algorithm,
+			Now:         s.eng.Now(),
+			Jobs:        len(s.eng.Instance().Jobs),
+			Decisions:   len(s.eng.Decisions()),
+			Psi:         res.Psi,
+			Phi:         res.Phi,
+			Value:       res.Value,
+			Utilization: res.Utilization,
+		}
+		if next := s.eng.NextEventTime(); next != sim.MaxTime {
+			reply.NextEvent = &next
+		}
+		return reply
+	}
+	l := s.fedn.Ledger()
+	reply := StateReply{
+		ID:        s.id,
+		Kind:      KindFederation,
+		Policy:    s.fedn.Policy().Name(),
+		Now:       s.fedn.Now(),
+		Jobs:      int(s.fedn.Submitted()),
+		Pending:   s.fedn.PendingCount(),
+		Decisions: len(s.fedn.Decisions()),
+		Psi:       l.FederationPsi(),
+		Value:     l.FederationValue(),
+		Offloaded: l.Offloaded(),
+	}
+	if next := s.fedn.NextEventTime(); next != sim.MaxTime {
+		reply.NextEvent = &next
+	}
+	for c, m := range s.fedn.Members() {
+		eng := m.Engine()
+		reply.Clusters = append(reply.Clusters, ClusterState{
+			Name:      m.Name(),
+			Now:       eng.Now(),
+			Jobs:      len(eng.Instance().Jobs),
+			Waiting:   eng.Waiting(),
+			Decisions: len(eng.Decisions()),
+			Psi:       l.Psi[c],
+			Value:     l.Value[c],
+			Executed:  l.Executed[c],
+		})
+	}
+	return reply
+}
+
+// Decisions returns the decision log suffix from `since` and the total
+// count.
+func (s *Session) Decisions(since int) (int, []Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		all := s.eng.Decisions()
+		if since > len(all) {
+			since = len(all)
+		}
+		return len(all), fromStarts(all[since:])
+	}
+	all := s.fedn.Decisions()
+	if since > len(all) {
+		since = len(all)
+	}
+	return len(all), fromFedDecisions(all[since:])
+}
+
+// Checkpoint serializes the session's run state (engine snapshot or
+// federation snapshot).
+func (s *Session) Checkpoint() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		return s.eng.Snapshot()
+	}
+	return s.fedn.Snapshot()
+}
+
+// Restore replaces the session's run state with a snapshot captured by
+// a session of the same configuration.
+func (s *Session) Restore(data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restoreLocked(data)
+}
+
+func (s *Session) restoreLocked(data []byte) error {
+	if s.eng != nil {
+		alg, err := s.cfg.buildAlg(defaultStr(s.cfg.Alg, "ref"))
+		if err != nil {
+			return err
+		}
+		restored, err := engine.Restore(alg, data)
+		if err != nil {
+			return err
+		}
+		s.eng = restored
+		return nil
+	}
+	specs, err := s.cfg.fedSpecs()
+	if err != nil {
+		return err
+	}
+	policy, err := fed.PolicyByName(defaultStr(s.cfg.Policy, "fairness"))
+	if err != nil {
+		return err
+	}
+	restored, err := fed.Restore(s.cfg.OrgNames, specs, policy, data)
+	if err != nil {
+		return err
+	}
+	s.fedn = restored
+	return nil
+}
+
+// Manager is the session table: create, look up, list, delete, and
+// flush/reload every session.
+type Manager struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string // creation order, for stable listings
+	nextID   int
+}
+
+// NewManager returns an empty session manager.
+func NewManager() *Manager {
+	return &Manager{sessions: make(map[string]*Session)}
+}
+
+// Create builds a new session from cfg. id may be empty, in which case
+// a fresh "s<N>" identifier is assigned. Identifiers must be usable in
+// URL paths: one path segment, no slashes.
+func (m *Manager) Create(id string, cfg SessionConfig) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id == "" {
+		for {
+			m.nextID++
+			id = fmt.Sprintf("s%d", m.nextID)
+			if _, taken := m.sessions[id]; !taken {
+				break
+			}
+		}
+	}
+	if strings.ContainsAny(id, "/ ") {
+		return nil, fmt.Errorf("daemon: session id %q contains a slash or space", id)
+	}
+	if _, exists := m.sessions[id]; exists {
+		return nil, fmt.Errorf("daemon: session %q already exists", id)
+	}
+	s, err := newSession(id, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.sessions[id] = s
+	m.order = append(m.order, id)
+	return s, nil
+}
+
+// Get returns the session with the given id.
+func (m *Manager) Get(id string) (*Session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.sessions[id]
+	return s, ok
+}
+
+// List returns every live session in creation order.
+func (m *Manager) List() []*Session {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, id := range m.order {
+		if s, ok := m.sessions[id]; ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Delete removes a session. The run is simply dropped — callers wanting
+// its final state checkpoint first.
+func (m *Manager) Delete(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.sessions[id]; !ok {
+		return false
+	}
+	delete(m.sessions, id)
+	for i, oid := range m.order {
+		if oid == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Envelope is one flushed session: its identity, its full static
+// configuration, and its run snapshot. Envelopes are what FlushAll
+// writes and LoadDir reads — a daemon's complete persistent state is a
+// directory of them.
+type Envelope struct {
+	ID       string          `json:"id"`
+	Config   SessionConfig   `json:"config"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// FlushAll checkpoints every live session into dir (one
+// "<id>.session.json" envelope each) and returns the written paths.
+// Used for the final flush on graceful shutdown; sessions stay live.
+func (m *Manager) FlushAll(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, s := range m.List() {
+		snap, err := s.Checkpoint()
+		if err != nil {
+			return paths, fmt.Errorf("daemon: flush session %q: %w", s.ID(), err)
+		}
+		env, err := json.Marshal(Envelope{ID: s.ID(), Config: s.Config(), Snapshot: snap})
+		if err != nil {
+			return paths, err
+		}
+		path := filepath.Join(dir, s.ID()+".session.json")
+		if err := os.WriteFile(path, env, 0o644); err != nil {
+			return paths, err
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// LoadDir restores every "*.session.json" envelope in dir into the
+// manager (skipped silently when the directory does not exist) and
+// returns the restored session ids in deterministic (sorted) order.
+func (m *Manager) LoadDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".session.json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	var ids []string
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return ids, err
+		}
+		var env Envelope
+		if err := json.Unmarshal(data, &env); err != nil {
+			return ids, fmt.Errorf("daemon: envelope %s: %w", name, err)
+		}
+		s, err := m.Create(env.ID, env.Config)
+		if err != nil {
+			return ids, fmt.Errorf("daemon: recreate session %q: %w", env.ID, err)
+		}
+		if err := s.Restore(env.Snapshot); err != nil {
+			m.Delete(env.ID)
+			return ids, fmt.Errorf("daemon: restore session %q: %w", env.ID, err)
+		}
+		ids = append(ids, env.ID)
+	}
+	return ids, nil
+}

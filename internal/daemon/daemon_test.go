@@ -1,0 +1,300 @@
+package daemon_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/daemon"
+	"repro/internal/model"
+)
+
+func singleCfg() daemon.SessionConfig {
+	return daemon.SessionConfig{Kind: daemon.KindSingle, Alg: "ref", Orgs: 2, Machines: 3, Seed: 7}
+}
+
+func fedCfg() daemon.SessionConfig {
+	return daemon.SessionConfig{
+		Kind:     daemon.KindFederation,
+		OrgNames: []string{"alpha", "beta"},
+		Policy:   "leastloaded",
+		Clusters: []daemon.ClusterConfig{
+			{Name: "east", Alg: "ref", Machines: []int{2, 0}},
+			{Name: "west", Alg: "directcontr", Machines: []int{0, 2}},
+		},
+		Seed: 7,
+	}
+}
+
+// api is a tiny JSON client against the handler under test.
+type api struct {
+	t  *testing.T
+	ts *httptest.Server
+}
+
+func newAPI(t *testing.T) api {
+	t.Helper()
+	ts := httptest.NewServer(daemon.NewServer(daemon.NewManager()).Handler())
+	t.Cleanup(ts.Close)
+	return api{t: t, ts: ts}
+}
+
+func (a api) do(method, path, body string, wantStatus int) map[string]any {
+	a.t.Helper()
+	req, err := http.NewRequest(method, a.ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		a.t.Fatal(err)
+	}
+	resp, err := a.ts.Client().Do(req)
+	if err != nil {
+		a.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		a.t.Fatalf("%s %s: status %d, want %d: %s", method, path, resp.StatusCode, wantStatus, raw)
+	}
+	var out map[string]any
+	if len(raw) > 0 {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			a.t.Fatalf("%s %s: %v in %q", method, path, err, raw)
+		}
+	}
+	return out
+}
+
+func (a api) raw(path string) []byte {
+	a.t.Helper()
+	resp, err := a.ts.Client().Get(a.ts.URL + path)
+	if err != nil {
+		a.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		a.t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, raw)
+	}
+	return raw
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestMultiSessionDaemon is the acceptance path: one daemon serves a
+// single-run session and a federated session concurrently, driving
+// both through submit → advance → checkpoint → restore, with the two
+// sessions progressing independently.
+func TestMultiSessionDaemon(t *testing.T) {
+	a := newAPI(t)
+
+	a.do("POST", "/v1/sessions", `{"id":"solo",`+mustJSON(t, singleCfg())[1:], http.StatusCreated)
+	a.do("POST", "/v1/sessions", `{"id":"fleet",`+mustJSON(t, fedCfg())[1:], http.StatusCreated)
+
+	list := a.do("GET", "/v1/sessions", "", http.StatusOK)
+	if n := len(list["sessions"].([]any)); n != 2 {
+		t.Fatalf("daemon lists %d sessions, want 2", n)
+	}
+
+	// Drive both sessions concurrently: different sessions must not
+	// serialize against each other (and the race detector watches).
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.do("POST", "/v1/sessions/solo/jobs",
+			`{"jobs":[{"org":0,"size":3},{"org":1,"size":2},{"org":1,"size":4,"release":5}]}`, http.StatusOK)
+		adv := a.do("POST", "/v1/sessions/solo/advance", `{"until":30}`, http.StatusOK)
+		if n := len(adv["decisions"].([]any)); n != 3 {
+			t.Errorf("solo session made %d decisions, want 3", n)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		// Submissions arrive at the east cluster; beta's jobs should
+		// spill west under least-loaded routing.
+		a.do("POST", "/v1/sessions/fleet/jobs",
+			`{"jobs":[{"cluster":0,"org":0,"size":4},{"cluster":0,"org":1,"size":4},{"cluster":0,"org":1,"size":4,"release":2}]}`,
+			http.StatusOK)
+		adv := a.do("POST", "/v1/sessions/fleet/advance", `{"until":40}`, http.StatusOK)
+		if n := len(adv["decisions"].([]any)); n != 3 {
+			t.Errorf("fleet session made %d decisions, want 3", n)
+		}
+	}()
+	wg.Wait()
+
+	soloState := a.do("GET", "/v1/sessions/solo/state", "", http.StatusOK)
+	if soloState["kind"] != "single" || soloState["now"].(float64) != 30 {
+		t.Fatalf("solo state: %v", soloState)
+	}
+	fleetState := a.do("GET", "/v1/sessions/fleet/state", "", http.StatusOK)
+	if fleetState["kind"] != "federation" || fleetState["now"].(float64) != 40 {
+		t.Fatalf("fleet state: %v", fleetState)
+	}
+	if len(fleetState["clusters"].([]any)) != 2 {
+		t.Fatalf("fleet state has no per-cluster rows: %v", fleetState)
+	}
+
+	// Checkpoint both, keep advancing the originals, then roll both
+	// back via restore: the clocks must rewind to the checkpoints.
+	soloSnap := a.raw("/v1/sessions/solo/checkpoint")
+	fleetSnap := a.raw("/v1/sessions/fleet/checkpoint")
+	a.do("POST", "/v1/sessions/solo/advance", `{"until":100}`, http.StatusOK)
+	a.do("POST", "/v1/sessions/fleet/advance", `{"until":100}`, http.StatusOK)
+	res := a.do("POST", "/v1/sessions/solo/restore", string(soloSnap), http.StatusOK)
+	if res["now"].(float64) != 30 {
+		t.Fatalf("solo restore landed at %v, want 30", res["now"])
+	}
+	res = a.do("POST", "/v1/sessions/fleet/restore", string(fleetSnap), http.StatusOK)
+	if res["now"].(float64) != 40 {
+		t.Fatalf("fleet restore landed at %v, want 40", res["now"])
+	}
+
+	// Restored sessions keep serving: a submit-now job dispatches on the
+	// next-event advance (same instant — a machine is free at t=40).
+	a.do("POST", "/v1/sessions/fleet/jobs", `{"jobs":[{"cluster":1,"org":0,"size":1}]}`, http.StatusOK)
+	adv := a.do("POST", "/v1/sessions/fleet/advance", `{}`, http.StatusOK)
+	if n := len(adv["decisions"].([]any)); n != 1 {
+		t.Fatalf("restored fleet did not schedule the new job: %v", adv)
+	}
+
+	// Decision logs are queryable with suffixes.
+	decs := a.do("GET", "/v1/sessions/fleet/decisions?since=2", "", http.StatusOK)
+	if total := decs["total"].(float64); total < 3 {
+		t.Fatalf("fleet decision log too short: %v", decs)
+	}
+
+	// Delete one session; the other keeps running.
+	a.do("DELETE", "/v1/sessions/solo", "", http.StatusOK)
+	a.do("GET", "/v1/sessions/solo/state", "", http.StatusNotFound)
+	a.do("GET", "/v1/sessions/fleet/state", "", http.StatusOK)
+}
+
+// TestSessionAPIValidation covers the create/restore error surface.
+func TestSessionAPIValidation(t *testing.T) {
+	a := newAPI(t)
+	a.do("POST", "/v1/sessions", `{"kind":"bogus"}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"kind":"single","alg":"nope"}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"kind":"federation","org_names":["a"],"policy":"bogus",
+	  "clusters":[{"name":"x","alg":"ref","machines":[1]}]}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"kind":"federation","org_names":["a"],
+	  "clusters":[{"name":"x","alg":"ref","machines":[0]}]}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"id":"has space","kind":"single"}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"id":"dup","kind":"single"}`, http.StatusCreated)
+	a.do("POST", "/v1/sessions", `{"id":"dup","kind":"single"}`, http.StatusBadRequest)
+	a.do("GET", "/v1/sessions/ghost/state", "", http.StatusNotFound)
+	a.do("DELETE", "/v1/sessions/ghost", "", http.StatusNotFound)
+	a.do("POST", "/v1/sessions/dup/jobs", `{"jobs":[]}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions/dup/jobs", `{"jobs":[{"org":99,"size":1}]}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions/dup/restore", `{"version":99}`, http.StatusBadRequest)
+	// No default session was created: legacy aliases 404 rather than
+	// silently touching some other session.
+	a.do("POST", "/v1/jobs", `{"jobs":[{"org":0,"size":1}]}`, http.StatusNotFound)
+
+	// Delete + recreate under the same id must not duplicate the
+	// listing (the creation-order index forgets deleted ids).
+	a.do("DELETE", "/v1/sessions/dup", "", http.StatusOK)
+	a.do("POST", "/v1/sessions", `{"id":"dup","kind":"single"}`, http.StatusCreated)
+	list := a.do("GET", "/v1/sessions", "", http.StatusOK)
+	if n := len(list["sessions"].([]any)); n != 1 {
+		t.Fatalf("after delete+recreate the daemon lists %d sessions, want 1", n)
+	}
+	// Auto-generated ids skip over taken names instead of colliding.
+	a.do("POST", "/v1/sessions", `{"id":"s1","kind":"single"}`, http.StatusCreated)
+	created := a.do("POST", "/v1/sessions", `{"kind":"single"}`, http.StatusCreated)
+	if id := created["id"].(string); id == "s1" {
+		t.Fatalf("auto-generated id collided with the taken %q", id)
+	}
+}
+
+// TestFlushAllAndLoadDir round-trips a whole session table through a
+// checkpoint directory — the graceful-shutdown persistence path.
+func TestFlushAllAndLoadDir(t *testing.T) {
+	mgr := daemon.NewManager()
+	solo, err := mgr.Create("solo", singleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := mgr.Create("fleet", fedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.Submit([]daemon.JobSubmission{{Org: 0, Size: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := solo.Advance(timePtr(20)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Submit([]daemon.JobSubmission{{Cluster: 0, Org: 1, Size: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fleet.Advance(timePtr(15)); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	paths, err := mgr.FlushAll(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("flushed %d envelopes, want 2", len(paths))
+	}
+	for _, p := range paths {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reborn := daemon.NewManager()
+	ids, err := reborn.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("reloaded %d sessions, want 2", len(ids))
+	}
+	s2, ok := reborn.Get("solo")
+	if !ok {
+		t.Fatal("solo session not reloaded")
+	}
+	if got, want := s2.State(), solo.State(); !sameState(got, want) {
+		t.Fatalf("reloaded solo state %+v, want %+v", got, want)
+	}
+	f2, ok := reborn.Get("fleet")
+	if !ok {
+		t.Fatal("fleet session not reloaded")
+	}
+	if got, want := f2.State(), fleet.State(); !sameState(got, want) {
+		t.Fatalf("reloaded fleet state %+v, want %+v", got, want)
+	}
+	// The reloaded federation keeps scheduling deterministically.
+	if _, _, err := f2.Advance(timePtr(50)); err != nil {
+		t.Fatal(err)
+	}
+
+	// An empty/missing directory is not an error.
+	if ids, err := daemon.NewManager().LoadDir(filepath.Join(t.TempDir(), "nope")); err != nil || len(ids) != 0 {
+		t.Fatalf("missing dir: ids=%v err=%v", ids, err)
+	}
+}
+
+func timePtr(v model.Time) *model.Time { return &v }
+
+func sameState(a, b daemon.StateReply) bool {
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	return bytes.Equal(ja, jb)
+}

@@ -1,0 +1,224 @@
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/model"
+)
+
+// Server exposes a session Manager over HTTP/JSON.
+//
+// Session lifecycle:
+//
+//	POST   /v1/sessions           (a SessionConfig, optional "id")  → created session
+//	GET    /v1/sessions                                             → session list
+//	GET    /v1/sessions/{id}                                        → session state
+//	DELETE /v1/sessions/{id}                                        → delete
+//
+// Per-session run control (the single-engine API of internal/engine,
+// generalized to many sessions and to federations):
+//
+//	POST /v1/sessions/{id}/jobs        {"jobs":[{"org":0,"size":5,"cluster":1}]}
+//	POST /v1/sessions/{id}/advance     {"until":100} (or {} for the next event)
+//	GET  /v1/sessions/{id}/state
+//	GET  /v1/sessions/{id}/decisions?since=N
+//	GET  /v1/sessions/{id}/checkpoint
+//	POST /v1/sessions/{id}/restore     (a checkpoint)
+//	GET  /v1/healthz
+//
+// The classic single-run endpoints (/v1/jobs, /v1/advance, /v1/state,
+// /v1/decisions, /v1/checkpoint, /v1/restore) remain mounted as
+// aliases for the session named "default", so pre-session clients and
+// scripts keep working against a daemon booted with the legacy flags.
+type Server struct {
+	mgr *Manager
+}
+
+// NewServer wraps a manager for HTTP serving.
+func NewServer(m *Manager) *Server { return &Server{mgr: m} }
+
+// Manager returns the underlying session manager.
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// DefaultSession is the id the legacy single-run endpoints alias.
+const DefaultSession = "default"
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.withSession((*Server).handleState))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/jobs", s.withSession((*Server).handleJobs))
+	mux.HandleFunc("POST /v1/sessions/{id}/advance", s.withSession((*Server).handleAdvance))
+	mux.HandleFunc("GET /v1/sessions/{id}/state", s.withSession((*Server).handleState))
+	mux.HandleFunc("GET /v1/sessions/{id}/decisions", s.withSession((*Server).handleDecisions))
+	mux.HandleFunc("GET /v1/sessions/{id}/checkpoint", s.withSession((*Server).handleCheckpoint))
+	mux.HandleFunc("POST /v1/sessions/{id}/restore", s.withSession((*Server).handleRestore))
+
+	// Legacy aliases onto the default session.
+	alias := func(h func(*Server, http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			sess, ok := s.mgr.Get(DefaultSession)
+			if !ok {
+				writeError(w, http.StatusNotFound, "no %q session (daemon booted without a default run)", DefaultSession)
+				return
+			}
+			h(s, w, r, sess)
+		}
+	}
+	mux.HandleFunc("POST /v1/jobs", alias((*Server).handleJobs))
+	mux.HandleFunc("POST /v1/advance", alias((*Server).handleAdvance))
+	mux.HandleFunc("GET /v1/state", alias((*Server).handleState))
+	mux.HandleFunc("GET /v1/decisions", alias((*Server).handleDecisions))
+	mux.HandleFunc("GET /v1/checkpoint", alias((*Server).handleCheckpoint))
+	mux.HandleFunc("POST /v1/restore", alias((*Server).handleRestore))
+
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": len(s.mgr.List())})
+	})
+	return mux
+}
+
+// withSession resolves the {id} path segment before invoking h.
+func (s *Server) withSession(h func(*Server, http.ResponseWriter, *http.Request, *Session)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess, ok := s.mgr.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+			return
+		}
+		h(s, w, r, sess)
+	}
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ID string `json:"id"`
+		SessionConfig
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	sess, err := s.mgr.Create(req.ID, req.SessionConfig)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.State())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	type row struct {
+		ID        string     `json:"id"`
+		Kind      string     `json:"kind"`
+		Now       model.Time `json:"now"`
+		Jobs      int        `json:"jobs"`
+		Decisions int        `json:"decisions"`
+	}
+	rows := []row{}
+	for _, sess := range s.mgr.List() {
+		st := sess.State()
+		rows = append(rows, row{ID: sess.ID(), Kind: sess.Kind(), Now: st.Now, Jobs: st.Jobs, Decisions: st.Decisions})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": rows})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.mgr.Delete(id) {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req struct {
+		Jobs []JobSubmission `json:"jobs"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	ids, err := sess.Submit(req.Jobs)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "now": sess.State().Now})
+}
+
+func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var req struct {
+		Until *model.Time `json:"until"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	now, decs, err := sess.Advance(req.Until)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"now": now, "decisions": decs})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, _ *http.Request, sess *Session) {
+	writeJSON(w, http.StatusOK, sess.State())
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request, sess *Session) {
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "bad since parameter %q", v)
+			return
+		}
+		since = n
+	}
+	total, decs := sess.Decisions(since)
+	writeJSON(w, http.StatusOK, map[string]any{"total": total, "decisions": decs})
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, sess *Session) {
+	data, err := sess.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, sess *Session) {
+	var buf json.RawMessage
+	if err := json.NewDecoder(r.Body).Decode(&buf); err != nil {
+		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		return
+	}
+	if err := sess.Restore(buf); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st := sess.State()
+	writeJSON(w, http.StatusOK, map[string]any{"now": st.Now, "decisions": st.Decisions})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -129,6 +129,12 @@ func (e *Engine) StepToNextEvent() ([]sim.Start, bool, error) {
 // Decisions returns the full decision schedule so far.
 func (e *Engine) Decisions() []sim.Start { return e.s.Starts() }
 
+// Waiting returns the number of fed jobs not yet started — the queue
+// backlog load signal peers see (under the feed-at-release discipline
+// of internal/fed every fed job is already released, so this is exactly
+// the waiting-queue length).
+func (e *Engine) Waiting() int { return len(e.s.Instance().Jobs) - len(e.s.Starts()) }
+
 // Result evaluates utilities, contributions and the schedule at the
 // current engine clock.
 func (e *Engine) Result() *core.Result { return e.s.ResultAt(e.now) }

@@ -1,0 +1,148 @@
+package fed
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/model"
+)
+
+// CheckpointVersion identifies the serialized federation checkpoint
+// layout. Member engine snapshots carry their own core.CheckpointVersion.
+const CheckpointVersion = 1
+
+// Checkpoint is the complete serializable state of a federation: the
+// routing layer (pending queue, sequence counter, ledger counters,
+// decision log) plus one embedded engine snapshot per member. Like
+// engine checkpoints, it carries only dynamic state — restoring
+// requires the same static configuration (organization universe,
+// cluster specs, delegation policy) that captured it.
+type Checkpoint struct {
+	Version int                `json:"version"`
+	Policy  string             `json:"policy"`
+	Seed    int64              `json:"seed"`
+	Now     model.Time         `json:"now"`
+	Orgs    []string           `json:"orgs"`
+	NextSeq int64              `json:"next_seq"`
+	Pending []Pending          `json:"pending,omitempty"`
+	Decs    []Decision         `json:"decisions,omitempty"`
+	Ledger  *Ledger            `json:"ledger"`
+	Members []MemberCheckpoint `json:"members"`
+}
+
+// MemberCheckpoint is one member cluster's state: identity, machine
+// grid row, the local-ID→sequence mapping, and the engine snapshot.
+type MemberCheckpoint struct {
+	Name     string          `json:"name"`
+	Machines []int           `json:"machines"`
+	SeqOf    []int64         `json:"seq_of,omitempty"`
+	Engine   json.RawMessage `json:"engine"`
+}
+
+// Snapshot serializes the federation's complete deterministic state as
+// JSON. Restoring it — in this process or another — resumes the run
+// byte-identically: same future routing, same decisions, same ψ.
+func (f *Federation) Snapshot() ([]byte, error) {
+	cp := Checkpoint{
+		Version: CheckpointVersion,
+		Policy:  f.policy.Name(),
+		Seed:    f.seed,
+		Now:     f.now,
+		Orgs:    f.orgs,
+		NextSeq: f.nextSeq,
+		Pending: f.pending,
+		Decs:    f.decs,
+		Ledger:  f.Ledger(),
+	}
+	for i, m := range f.members {
+		snap, err := m.eng.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("fed: snapshot cluster %d (%s): %w", i, m.name, err)
+		}
+		machines := make([]int, len(f.orgs))
+		for o, org := range m.eng.Instance().Orgs {
+			machines[o] = org.Machines
+		}
+		cp.Members = append(cp.Members, MemberCheckpoint{
+			Name:     m.name,
+			Machines: machines,
+			SeqOf:    m.seqOf,
+			Engine:   snap,
+		})
+	}
+	return json.Marshal(cp)
+}
+
+// Restore rebuilds a federation from a Snapshot. The static
+// configuration — organization universe, cluster count/names/machine
+// grids, per-cluster algorithms and the delegation policy — must match
+// the one that captured the snapshot.
+func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*Federation, error) {
+	var cp Checkpoint
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("fed: restore: %w", err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("fed: restore: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("fed: restore: nil delegation policy")
+	}
+	if cp.Policy != policy.Name() {
+		return nil, fmt.Errorf("fed: restore: checkpoint routed by %q, federation configured with %q", cp.Policy, policy.Name())
+	}
+	if len(cp.Orgs) != len(orgs) {
+		return nil, fmt.Errorf("fed: restore: checkpoint has %d organizations, configuration %d", len(cp.Orgs), len(orgs))
+	}
+	for i := range orgs {
+		if cp.Orgs[i] != orgs[i] {
+			return nil, fmt.Errorf("fed: restore: organization %d is %q in checkpoint, %q in configuration", i, cp.Orgs[i], orgs[i])
+		}
+	}
+	if len(cp.Members) != len(specs) {
+		return nil, fmt.Errorf("fed: restore: checkpoint has %d clusters, configuration %d", len(cp.Members), len(specs))
+	}
+	if err := cp.Ledger.validate(len(specs), len(orgs)); err != nil {
+		return nil, fmt.Errorf("fed: restore: %w", err)
+	}
+	f := &Federation{
+		orgs:     append([]string(nil), orgs...),
+		policy:   policy,
+		seed:     cp.Seed,
+		now:      cp.Now,
+		nextSeq:  cp.NextSeq,
+		pending:  cp.Pending,
+		decs:     cp.Decs,
+		reported: len(cp.Decs),
+		ledger:   cp.Ledger,
+	}
+	for i, spec := range specs {
+		mc := cp.Members[i]
+		if spec.Name != mc.Name {
+			return nil, fmt.Errorf("fed: restore: cluster %d is %q in checkpoint, %q in configuration", i, mc.Name, spec.Name)
+		}
+		if spec.Alg == nil {
+			return nil, fmt.Errorf("fed: restore: cluster %d (%s) has no algorithm", i, spec.Name)
+		}
+		if len(spec.Machines) != len(orgs) {
+			return nil, fmt.Errorf("fed: restore: cluster %d (%s) has %d machine entries for %d organizations",
+				i, spec.Name, len(spec.Machines), len(orgs))
+		}
+		for o := range spec.Machines {
+			if o < len(mc.Machines) && spec.Machines[o] != mc.Machines[o] {
+				return nil, fmt.Errorf("fed: restore: cluster %d (%s) machine grid differs from checkpoint at organization %d", i, spec.Name, o)
+			}
+		}
+		eng, err := engine.Restore(spec.Alg, mc.Engine)
+		if err != nil {
+			return nil, fmt.Errorf("fed: restore cluster %d (%s): %w", i, spec.Name, err)
+		}
+		if got := len(eng.Instance().Jobs); len(mc.SeqOf) != got {
+			return nil, fmt.Errorf("fed: restore: cluster %d (%s) has %d sequence mappings for %d jobs",
+				i, spec.Name, len(mc.SeqOf), got)
+		}
+		f.members = append(f.members, &Member{name: mc.Name, eng: eng, seqOf: mc.SeqOf})
+	}
+	return f, nil
+}

@@ -1,0 +1,435 @@
+// Package fed federates several member clusters into one scheduling
+// system, extending the paper's single-cluster fairness model in the
+// direction of its follow-up, "Fair non-monetary scheduling in
+// federated clouds" (Pacholczyk & Rzadca): independent clusters — each
+// running its own scheduling algorithm on its own machines — offload
+// jobs to each other, and fairness is accounted both per cluster and
+// federation-wide.
+//
+// The model: the federation has a fixed universe of organizations. Each
+// member cluster contributes machines on behalf of those organizations
+// (a [cluster][org] machine grid; zero entries are fine) and runs one
+// core.StepperAlgorithm over its own machines through an
+// internal/engine.Engine. Jobs are submitted at an origin cluster —
+// the site where the owning organization hands them in — and at each
+// release instant a pluggable delegation Policy inspects the current
+// per-cluster Summaries (queue backlog, capacity, exchanged ψ/φ
+// vectors) and picks the cluster that executes the job. Once placed, a
+// job never migrates (engines are non-preemptive); delegation is a
+// routing decision, exactly once per job.
+//
+// All member engines advance in lockstep: Federation.Step(until) moves
+// every cluster through the same sequence of release instants, so a
+// federated run is a pure function of (member configurations, policy,
+// seed, submission sequence) — byte-identical across reruns and across
+// Snapshot/Restore (see TestFederationDeterminism).
+//
+// The Ledger records every routing decision and aggregates per-cluster
+// ψ-vectors into federation-wide totals, so the existing
+// internal/metrics unfairness measures (Δψ, Δψ/p_tot) apply unchanged
+// at either level.
+package fed
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Pending is one job accepted by the federation but not yet released
+// (and therefore not yet routed). Size is carried for feeding the
+// executing engine; delegation policies never see it — routing is as
+// non-clairvoyant as scheduling.
+type Pending struct {
+	Seq     int64      `json:"seq"`
+	Cluster int        `json:"cluster"` // origin (submitting) cluster
+	Org     int        `json:"org"`
+	Size    model.Time `json:"size"`
+	Release model.Time `json:"release"`
+}
+
+// Decision is one federated scheduling decision: the job (by federation
+// sequence number) started on a machine of the executing cluster.
+type Decision struct {
+	Seq     int64      `json:"seq"`
+	Org     int        `json:"org"`
+	Cluster int        `json:"cluster"`
+	Machine int        `json:"machine"`
+	At      model.Time `json:"at"`
+}
+
+// ClusterSpec is the static configuration of one member cluster: its
+// name, the algorithm it schedules with, and the machines each
+// federation organization contributes at this site (indexed by the
+// federation's organization universe; zero entries allowed).
+type ClusterSpec struct {
+	Name     string
+	Alg      core.StepperAlgorithm
+	Machines []int
+}
+
+// Member is one live member cluster.
+type Member struct {
+	name  string
+	eng   *engine.Engine
+	seqOf []int64 // cluster-local job ID -> federation sequence number
+}
+
+// Name returns the member's configured name.
+func (m *Member) Name() string { return m.name }
+
+// Engine returns the member's scheduling engine. Callers must not feed
+// or step it directly — the federation drives all members in lockstep.
+func (m *Member) Engine() *engine.Engine { return m.eng }
+
+// Federation drives N member clusters in lockstep under one delegation
+// policy. Like engines, federations are single-goroutine objects: the
+// caller (the daemon's session lock, a test) serializes access.
+type Federation struct {
+	orgs     []string
+	members  []*Member
+	policy   Policy
+	seed     int64
+	now      model.Time
+	nextSeq  int64
+	pending  []Pending // sorted by (Release, Seq)
+	decs     []Decision
+	reported int
+	ledger   *Ledger
+}
+
+// New builds a federation over the given organization universe. Each
+// spec's Machines has one entry per organization; every cluster needs
+// at least one machine in total. seed derives each member engine's
+// seed, so two federations built from the same inputs are identical.
+func New(orgs []string, specs []ClusterSpec, policy Policy, seed int64) (*Federation, error) {
+	if len(orgs) == 0 {
+		return nil, fmt.Errorf("fed: no organizations")
+	}
+	if len(orgs) > model.MaxOrgs {
+		return nil, fmt.Errorf("fed: %d organizations exceed the maximum of %d", len(orgs), model.MaxOrgs)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("fed: no member clusters")
+	}
+	if policy == nil {
+		return nil, fmt.Errorf("fed: nil delegation policy")
+	}
+	f := &Federation{
+		orgs:   append([]string(nil), orgs...),
+		policy: policy,
+		seed:   seed,
+		ledger: newLedger(len(specs), len(orgs)),
+	}
+	for i, spec := range specs {
+		if spec.Alg == nil {
+			return nil, fmt.Errorf("fed: cluster %d (%s) has no algorithm", i, spec.Name)
+		}
+		if len(spec.Machines) != len(orgs) {
+			return nil, fmt.Errorf("fed: cluster %d (%s) has %d machine entries for %d organizations",
+				i, spec.Name, len(spec.Machines), len(orgs))
+		}
+		orgList := make([]model.Org, len(orgs))
+		total := 0
+		for o, name := range orgs {
+			if spec.Machines[o] < 0 {
+				return nil, fmt.Errorf("fed: cluster %d (%s) has negative machine count for %s", i, spec.Name, name)
+			}
+			orgList[o] = model.Org{Name: name, Machines: spec.Machines[o]}
+			total += spec.Machines[o]
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("fed: cluster %d (%s) has no machines", i, spec.Name)
+		}
+		inst, err := model.NewInstance(orgList, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fed: cluster %d (%s): %w", i, spec.Name, err)
+		}
+		f.members = append(f.members, &Member{
+			name: spec.Name,
+			eng:  engine.New(spec.Alg, inst, memberSeed(seed, i)),
+		})
+	}
+	return f, nil
+}
+
+// memberSeed derives member i's engine seed from the federation seed —
+// a SplitMix64-style mix so member streams are decorrelated but fully
+// determined by (seed, i).
+func memberSeed(seed int64, i int) int64 {
+	x := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	return int64(x)
+}
+
+// Orgs returns the federation's organization names.
+func (f *Federation) Orgs() []string { return f.orgs }
+
+// Members returns the member clusters in configuration order.
+func (f *Federation) Members() []*Member { return f.members }
+
+// Policy returns the delegation policy.
+func (f *Federation) Policy() Policy { return f.policy }
+
+// Now returns the federation clock: the instant of the last Step.
+func (f *Federation) Now() model.Time { return f.now }
+
+// Seed returns the federation's seed.
+func (f *Federation) Seed() int64 { return f.seed }
+
+// PendingCount returns the number of accepted-but-unreleased jobs.
+func (f *Federation) PendingCount() int { return len(f.pending) }
+
+// Submitted returns the number of jobs accepted so far.
+func (f *Federation) Submitted() int64 { return f.nextSeq }
+
+// Submit accepts one job at the origin cluster and returns its
+// federation sequence number. The job must name a valid origin and
+// organization, have size ≥ 1, and be released no earlier than the
+// federation clock. It stays pending until its release instant, when
+// the delegation policy routes it to the executing cluster.
+func (f *Federation) Submit(origin, org int, size, release model.Time) (int64, error) {
+	if origin < 0 || origin >= len(f.members) {
+		return 0, fmt.Errorf("fed: submit: unknown cluster %d", origin)
+	}
+	if org < 0 || org >= len(f.orgs) {
+		return 0, fmt.Errorf("fed: submit: unknown organization %d", org)
+	}
+	if size < 1 {
+		return 0, fmt.Errorf("fed: submit: job size %d; sizes must be >= 1", size)
+	}
+	if release < f.now {
+		return 0, fmt.Errorf("fed: submit: release %d before federation time %d", release, f.now)
+	}
+	p := Pending{Seq: f.nextSeq, Cluster: origin, Org: org, Size: size, Release: release}
+	f.nextSeq++
+	f.insertPending(p)
+	f.ledger.Submitted++
+	return p.Seq, nil
+}
+
+// SubmitJobs accepts a batch of jobs at one origin cluster (Job.ID is
+// ignored; Release/Size/Org are used). A convenience for feeding
+// generated workloads — see internal/gen.FedScenario.
+func (f *Federation) SubmitJobs(origin int, jobs []model.Job) error {
+	for _, j := range jobs {
+		if _, err := f.Submit(origin, j.Org, j.Size, j.Release); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertPending keeps f.pending sorted by (Release, Seq). Submissions
+// are typically in release order, so the common case is an append.
+func (f *Federation) insertPending(p Pending) {
+	i := len(f.pending)
+	for i > 0 {
+		q := f.pending[i-1]
+		if q.Release < p.Release || (q.Release == p.Release && q.Seq < p.Seq) {
+			break
+		}
+		i--
+	}
+	f.pending = append(f.pending, Pending{})
+	copy(f.pending[i+1:], f.pending[i:])
+	f.pending[i] = p
+}
+
+// NextEventTime returns the earliest instant at which anything can
+// happen: the next pending release or the earliest member event, or
+// sim.MaxTime when the federation is drained.
+func (f *Federation) NextEventTime() model.Time {
+	next := sim.MaxTime
+	if len(f.pending) > 0 {
+		next = f.pending[0].Release
+	}
+	for _, m := range f.members {
+		if t := m.eng.NextEventTime(); t < next {
+			next = t
+		}
+	}
+	return next
+}
+
+// Step advances the federation to exactly `until`. Members move in
+// lockstep through every pending release instant at or before `until`:
+// the engines first advance to the instant, the policy then routes the
+// releases using fresh per-cluster summaries, the routed jobs are fed
+// to their executing engines and dispatched, and the loop continues.
+// It returns the federated scheduling decisions made since the
+// previous Step (or since Restore).
+func (f *Federation) Step(until model.Time) ([]Decision, error) {
+	if until < f.now {
+		return nil, fmt.Errorf("fed: step to %d before federation time %d", until, f.now)
+	}
+	for len(f.pending) > 0 && f.pending[0].Release <= until {
+		t := f.pending[0].Release
+		if err := f.advanceMembers(t); err != nil {
+			return nil, err
+		}
+		n := 0
+		for n < len(f.pending) && f.pending[n].Release == t {
+			n++
+		}
+		batch := f.pending[:n]
+		sums := f.summaries()
+		for _, p := range batch {
+			target := f.policy.Route(p.Org, p.Cluster, sums)
+			if target < 0 || target >= len(f.members) {
+				return nil, fmt.Errorf("fed: policy %q routed job %d to unknown cluster %d",
+					f.policy.Name(), p.Seq, target)
+			}
+			m := f.members[target]
+			ids, err := m.eng.Feed([]model.Job{{Org: p.Org, Size: p.Size, Release: t}})
+			if err != nil {
+				return nil, fmt.Errorf("fed: feed cluster %d (%s): %w", target, m.name, err)
+			}
+			for len(m.seqOf) <= ids[0] {
+				m.seqOf = append(m.seqOf, -1)
+			}
+			m.seqOf[ids[0]] = p.Seq
+			f.ledger.route(p, target)
+		}
+		f.pending = append(f.pending[:0], f.pending[n:]...)
+		// Same-instant dispatch of the freshly routed releases.
+		if err := f.advanceMembers(t); err != nil {
+			return nil, err
+		}
+		f.now = t
+	}
+	if err := f.advanceMembers(until); err != nil {
+		return nil, err
+	}
+	f.now = until
+	fresh := append([]Decision(nil), f.decs[f.reported:]...)
+	f.reported = len(f.decs)
+	return fresh, nil
+}
+
+// StepToNextEvent advances to the next pending event instant, if one
+// exists, and returns its decisions. The second result reports whether
+// an event existed.
+func (f *Federation) StepToNextEvent() ([]Decision, bool, error) {
+	t := f.NextEventTime()
+	if t == sim.MaxTime {
+		return nil, false, nil
+	}
+	decs, err := f.Step(t)
+	return decs, true, err
+}
+
+// advanceMembers steps every member engine to t (in configuration
+// order) and folds their fresh starts into the federated decision log.
+func (f *Federation) advanceMembers(t model.Time) error {
+	for c, m := range f.members {
+		starts, err := m.eng.Step(t)
+		if err != nil {
+			return fmt.Errorf("fed: advance cluster %d (%s): %w", c, m.name, err)
+		}
+		for _, s := range starts {
+			f.decs = append(f.decs, Decision{
+				Seq: m.seqOf[s.Job], Org: s.Org, Cluster: c, Machine: s.Machine, At: s.At,
+			})
+		}
+	}
+	return nil
+}
+
+// Decisions returns the full federated decision log so far.
+func (f *Federation) Decisions() []Decision { return f.decs }
+
+// summaries exports every member's Summary at the current lockstep
+// instant. Engines stand exactly at the routing instant, so the
+// exchanged ψ/φ vectors are the values a real federation peer would
+// have just gossiped.
+func (f *Federation) summaries() []Summary {
+	sums := make([]Summary, len(f.members))
+	for i, m := range f.members {
+		res := m.eng.Result()
+		inst := m.eng.Instance()
+		orgCap := make([]int64, len(inst.Orgs))
+		for o := range inst.Orgs {
+			orgCap[o] = inst.Orgs[o].Capacity()
+		}
+		sums[i] = Summary{
+			Cluster:     i,
+			Now:         m.eng.Now(),
+			Waiting:     m.eng.Waiting(),
+			Capacity:    inst.TotalCapacity(),
+			OrgCapacity: orgCap,
+			Psi:         res.Psi,
+			Phi:         res.Phi,
+			Value:       res.Value,
+			Executed:    res.Ptot,
+			Utilization: res.Utilization,
+		}
+	}
+	return sums
+}
+
+// Ledger returns the federation ledger with the per-cluster accounting
+// columns (ψ, value, executed units) refreshed from the live engines at
+// the current clock.
+func (f *Federation) Ledger() *Ledger {
+	f.ledger.sync(f)
+	return f.ledger
+}
+
+// CheckConservation verifies the federation's bookkeeping invariants:
+// every accepted job is either still pending or was fed to exactly one
+// cluster, routing counts match fed counts, sequence numbers map
+// one-to-one, and the ledger's federation-wide totals equal the sums of
+// the members' own accounting. It is the executable statement of "no
+// job is lost or duplicated under delegation".
+func (f *Federation) CheckConservation() error {
+	l := f.Ledger()
+	var fedTotal int64
+	for c := range l.Fed {
+		fedTotal += l.Fed[c]
+		if got := int64(len(f.members[c].eng.Instance().Jobs)); got != l.Fed[c] {
+			return fmt.Errorf("fed: cluster %d holds %d jobs, ledger says %d fed", c, got, l.Fed[c])
+		}
+	}
+	if fedTotal+int64(len(f.pending)) != l.Submitted {
+		return fmt.Errorf("fed: %d fed + %d pending != %d submitted", fedTotal, len(f.pending), l.Submitted)
+	}
+	var routed int64
+	for _, row := range l.Routed {
+		for _, n := range row {
+			routed += n
+		}
+	}
+	if routed != fedTotal {
+		return fmt.Errorf("fed: %d routed != %d fed", routed, fedTotal)
+	}
+	seen := make(map[int64]bool)
+	for c, m := range f.members {
+		if len(m.seqOf) != len(m.eng.Instance().Jobs) {
+			return fmt.Errorf("fed: cluster %d has %d seq mappings for %d jobs", c, len(m.seqOf), len(m.eng.Instance().Jobs))
+		}
+		for _, seq := range m.seqOf {
+			if seq < 0 || seq >= f.nextSeq {
+				return fmt.Errorf("fed: cluster %d maps a job to invalid sequence %d", c, seq)
+			}
+			if seen[seq] {
+				return fmt.Errorf("fed: job %d fed to more than one cluster", seq)
+			}
+			seen[seq] = true
+		}
+	}
+	for c, m := range f.members {
+		psi := m.eng.Result().Psi
+		for o := range psi {
+			if psi[o] != l.Psi[c][o] {
+				return fmt.Errorf("fed: ledger ψ[%d][%d]=%d, engine reports %d", c, o, l.Psi[c][o], psi[o])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package fed
+
+import "fmt"
+
+// Ledger is the federation-wide contribution ledger: every routing
+// decision is counted as it happens (Submitted, Routed, RoutedWork,
+// Fed), and the per-cluster accounting columns (Psi, Value, Executed)
+// are refreshed from the member engines whenever the ledger is read
+// through Federation.Ledger. The refreshed columns make the paper's
+// fairness metrics computable at both levels with internal/metrics
+// unchanged: per cluster from Psi[c], federation-wide from
+// FederationPsi.
+//
+// RoutedWork records job sizes, which delegation policies never see:
+// the ledger is accounting — like the simulator's ψsp accounts, it
+// tallies work only the executing side would eventually observe —
+// not scheduler input.
+type Ledger struct {
+	Clusters  int   `json:"clusters"`
+	Orgs      int   `json:"orgs"`
+	Submitted int64 `json:"submitted"`
+	// Routed[origin][target] counts jobs submitted at origin and routed
+	// to target; the diagonal is the non-delegated traffic.
+	Routed [][]int64 `json:"routed"`
+	// RoutedWork is Routed weighted by job size (work units).
+	RoutedWork [][]int64 `json:"routed_work"`
+	// Fed[c] counts jobs fed to cluster c (the column sums of Routed).
+	Fed []int64 `json:"fed"`
+	// Psi[c][o] is organization o's ψsp earned at cluster c, refreshed
+	// at the federation clock.
+	Psi [][]int64 `json:"psi"`
+	// Value[c] is cluster c's coalition value Σ_o Psi[c][o].
+	Value []int64 `json:"value"`
+	// Executed[c] is cluster c's executed unit slots.
+	Executed []int64 `json:"executed"`
+}
+
+func newLedger(clusters, orgs int) *Ledger {
+	l := &Ledger{
+		Clusters:   clusters,
+		Orgs:       orgs,
+		Routed:     make([][]int64, clusters),
+		RoutedWork: make([][]int64, clusters),
+		Fed:        make([]int64, clusters),
+		Psi:        make([][]int64, clusters),
+		Value:      make([]int64, clusters),
+		Executed:   make([]int64, clusters),
+	}
+	for c := 0; c < clusters; c++ {
+		l.Routed[c] = make([]int64, clusters)
+		l.RoutedWork[c] = make([]int64, clusters)
+		l.Psi[c] = make([]int64, orgs)
+	}
+	return l
+}
+
+// validate checks a deserialized ledger's shape against the restoring
+// configuration, so a truncated or hand-edited checkpoint fails at
+// Restore instead of panicking mid-Step.
+func (l *Ledger) validate(clusters, orgs int) error {
+	if l == nil {
+		return fmt.Errorf("checkpoint has no ledger")
+	}
+	if l.Clusters != clusters || l.Orgs != orgs {
+		return fmt.Errorf("ledger is %d×%d, configuration is %d×%d clusters×orgs", l.Clusters, l.Orgs, clusters, orgs)
+	}
+	if len(l.Routed) != clusters || len(l.RoutedWork) != clusters || len(l.Fed) != clusters ||
+		len(l.Psi) != clusters || len(l.Value) != clusters || len(l.Executed) != clusters {
+		return fmt.Errorf("ledger columns truncated")
+	}
+	for c := 0; c < clusters; c++ {
+		if len(l.Routed[c]) != clusters || len(l.RoutedWork[c]) != clusters || len(l.Psi[c]) != orgs {
+			return fmt.Errorf("ledger row %d truncated", c)
+		}
+	}
+	return nil
+}
+
+// route records one delegation decision.
+func (l *Ledger) route(p Pending, target int) {
+	l.Routed[p.Cluster][target]++
+	l.RoutedWork[p.Cluster][target] += int64(p.Size)
+	l.Fed[target]++
+}
+
+// sync refreshes the accounting columns from the live member engines.
+func (l *Ledger) sync(f *Federation) {
+	for c, m := range f.members {
+		res := m.eng.Result()
+		copy(l.Psi[c], res.Psi)
+		l.Value[c] = res.Value
+		l.Executed[c] = res.Ptot
+	}
+}
+
+// Offloaded returns the number of jobs routed away from their origin.
+func (l *Ledger) Offloaded() int64 {
+	var n int64
+	for o, row := range l.Routed {
+		for t, count := range row {
+			if t != o {
+				n += count
+			}
+		}
+	}
+	return n
+}
+
+// OffloadedFraction returns the fraction of routed jobs that crossed
+// cluster boundaries (0 when nothing was routed yet).
+func (l *Ledger) OffloadedFraction() float64 {
+	var total int64
+	for _, n := range l.Fed {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(l.Offloaded()) / float64(total)
+}
+
+// FederationPsi returns the federation-wide ψ-vector: each
+// organization's ψsp summed over every cluster it consumed service at.
+// Feed it to internal/metrics for federation-level Δψ.
+func (l *Ledger) FederationPsi() []int64 {
+	out := make([]int64, l.Orgs)
+	for _, psi := range l.Psi {
+		for o, v := range psi {
+			out[o] += v
+		}
+	}
+	return out
+}
+
+// FederationValue returns the federation-wide coalition value Σ_c v_c.
+func (l *Ledger) FederationValue() int64 {
+	var v int64
+	for _, x := range l.Value {
+		v += x
+	}
+	return v
+}
+
+// TotalExecuted returns the executed unit slots across the federation —
+// the federation-wide p_tot for Δψ/p_tot.
+func (l *Ledger) TotalExecuted() int64 {
+	var u int64
+	for _, x := range l.Executed {
+		u += x
+	}
+	return u
+}

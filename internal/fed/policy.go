@@ -1,0 +1,129 @@
+package fed
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Summary is one member cluster's exported state at a routing instant —
+// the information clusters exchange in the federated model. It contains
+// queue backlog and capacity (the load signals) and the cluster's
+// per-organization ψ and φ vectors (the fairness signals); job sizes
+// are never part of it, keeping delegation non-clairvoyant.
+type Summary struct {
+	Cluster     int
+	Now         model.Time
+	Waiting     int   // jobs fed to the cluster but not yet started
+	Capacity    int64 // total work units per time unit at this cluster
+	OrgCapacity []int64
+	Psi         []int64   // per-org ψsp earned at this cluster
+	Phi         []float64 // per-org contribution estimate; nil when the algorithm computes none
+	Value       int64     // Σ ψ — the cluster's coalition value
+	Executed    int64     // executed unit slots
+	Utilization float64
+}
+
+// Policy decides, at a job's release instant, which member cluster
+// executes it. Route receives the owning organization, the origin
+// cluster, and the freshly exchanged summaries of every member;
+// implementations must be deterministic pure functions of their
+// arguments (the federation's determinism and checkpoint guarantees
+// depend on it) and must return a valid cluster index.
+type Policy interface {
+	Name() string
+	Route(org, origin int, sums []Summary) int
+}
+
+// LocalOnly never delegates: every job runs at its origin cluster.
+// This is the no-federation baseline the other policies are measured
+// against.
+type LocalOnly struct{}
+
+// Name implements Policy.
+func (LocalOnly) Name() string { return "local" }
+
+// Route implements Policy.
+func (LocalOnly) Route(_, origin int, _ []Summary) int { return origin }
+
+// LeastLoaded delegates greedily to the cluster with the smallest queue
+// backlog per unit of capacity — classic load balancing, blind to
+// fairness. Backlog counts waiting jobs, not work (sizes are unknown
+// until completion). Ties prefer the origin cluster, then the lowest
+// index, so routing is deterministic.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "leastloaded" }
+
+// Route implements Policy.
+func (LeastLoaded) Route(_, origin int, sums []Summary) int {
+	best := origin
+	for i := range sums {
+		if i == origin {
+			continue
+		}
+		// waiting_i/cap_i < waiting_best/cap_best, cross-multiplied to
+		// stay in exact integer arithmetic.
+		if int64(sums[i].Waiting)*sums[best].Capacity < int64(sums[best].Waiting)*sums[i].Capacity {
+			best = i
+		}
+	}
+	return best
+}
+
+// FairnessAware delegates by contribution credit, the federated analogue
+// of REF's largest-deficit rule: the job of organization o goes to the
+// cluster where o's deficit — its contribution minus what it has
+// consumed — is largest, i.e. where the federation owes o the most
+// service. The deficit at cluster c is φ_c[o] − ψ_c[o] when the
+// cluster's algorithm exchanges contribution estimates (REF's exact
+// Shapley φ, RAND's sampled estimate, DIRECTCONTR's direct one);
+// otherwise the capacity-proportional entitlement
+// (cap_c[o]/cap_c)·v_c − ψ_c[o] stands in for it. Ties prefer the
+// origin cluster, then the lowest index.
+type FairnessAware struct{}
+
+// Name implements Policy.
+func (FairnessAware) Name() string { return "fairness" }
+
+// Route implements Policy.
+func (FairnessAware) Route(org, origin int, sums []Summary) int {
+	best, bestDeficit := origin, deficit(org, sums[origin])
+	for i := range sums {
+		if i == origin {
+			continue
+		}
+		if d := deficit(org, sums[i]); d > bestDeficit {
+			best, bestDeficit = i, d
+		}
+	}
+	return best
+}
+
+// deficit is organization org's contribution credit at the summarized
+// cluster: estimated contribution minus consumed ψ.
+func deficit(org int, s Summary) float64 {
+	contr := float64(0)
+	if s.Phi != nil {
+		contr = s.Phi[org]
+	} else if s.Capacity > 0 {
+		contr = float64(s.OrgCapacity[org]) / float64(s.Capacity) * float64(s.Value)
+	}
+	return contr - float64(s.Psi[org])
+}
+
+// PolicyByName resolves a delegation policy from its wire name.
+func PolicyByName(name string) (Policy, error) {
+	switch strings.ToLower(name) {
+	case "local", "localonly", "local-only":
+		return LocalOnly{}, nil
+	case "leastloaded", "least-loaded", "greedy":
+		return LeastLoaded{}, nil
+	case "fairness", "fairness-aware", "fair":
+		return FairnessAware{}, nil
+	default:
+		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded or fairness)", name)
+	}
+}

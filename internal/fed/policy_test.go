@@ -1,0 +1,131 @@
+package fed_test
+
+import (
+	"testing"
+
+	"repro/internal/fed"
+	"repro/internal/model"
+)
+
+// sums2 builds a two-cluster summary pair for direct policy unit tests.
+func sums2(a, b fed.Summary) []fed.Summary {
+	a.Cluster, b.Cluster = 0, 1
+	return []fed.Summary{a, b}
+}
+
+func TestLocalOnlyRoutesHome(t *testing.T) {
+	s := sums2(fed.Summary{Waiting: 100, Capacity: 1}, fed.Summary{Waiting: 0, Capacity: 100})
+	if got := (fed.LocalOnly{}).Route(0, 0, s); got != 0 {
+		t.Fatalf("local-only routed to %d", got)
+	}
+}
+
+func TestLeastLoadedPrefersEmptierCluster(t *testing.T) {
+	p := fed.LeastLoaded{}
+	// Origin 0 has 6 waiting on 2 machines; cluster 1 has 1 waiting on
+	// 4 machines — offload.
+	s := sums2(fed.Summary{Waiting: 6, Capacity: 2}, fed.Summary{Waiting: 1, Capacity: 4})
+	if got := p.Route(0, 0, s); got != 1 {
+		t.Fatalf("least-loaded kept the job at the overloaded origin (got %d)", got)
+	}
+	// Exact tie (same backlog per capacity): stay at the origin.
+	s = sums2(fed.Summary{Waiting: 2, Capacity: 4}, fed.Summary{Waiting: 1, Capacity: 2})
+	if got := p.Route(0, 0, s); got != 0 {
+		t.Fatalf("least-loaded moved the job on a tie (got %d)", got)
+	}
+	if got := p.Route(0, 1, s); got != 1 {
+		t.Fatalf("least-loaded moved the job on a tie from origin 1 (got %d)", got)
+	}
+}
+
+func TestFairnessAwareFollowsDeficit(t *testing.T) {
+	p := fed.FairnessAware{}
+	// With exchanged φ: org 0 contributed much at cluster 1 (φ=50) but
+	// consumed little there (ψ=10); at its origin it already overdrew
+	// (φ=5, ψ=30). The job goes where the credit is.
+	s := sums2(
+		fed.Summary{Psi: []int64{30, 0}, Phi: []float64{5, 0}, Capacity: 2, OrgCapacity: []int64{1, 1}},
+		fed.Summary{Psi: []int64{10, 0}, Phi: []float64{50, 0}, Capacity: 2, OrgCapacity: []int64{2, 0}},
+	)
+	if got := p.Route(0, 0, s); got != 1 {
+		t.Fatalf("fairness-aware ignored the φ−ψ credit (got %d)", got)
+	}
+	// Without φ the capacity-proportional entitlement stands in: org 0
+	// owns all of cluster 1's machines (entitlement = full value 40,
+	// consumed 10 → deficit 30) and none at the origin.
+	s = sums2(
+		fed.Summary{Psi: []int64{20, 5}, Phi: nil, Value: 25, Capacity: 3, OrgCapacity: []int64{0, 3}},
+		fed.Summary{Psi: []int64{10, 30}, Phi: nil, Value: 40, Capacity: 2, OrgCapacity: []int64{2, 0}},
+	)
+	if got := p.Route(0, 0, s); got != 1 {
+		t.Fatalf("fairness-aware ignored the capacity entitlement (got %d)", got)
+	}
+	// All deficits zero (fresh federation): stay at the origin.
+	s = sums2(
+		fed.Summary{Psi: []int64{0, 0}, Value: 0, Capacity: 2, OrgCapacity: []int64{1, 1}},
+		fed.Summary{Psi: []int64{0, 0}, Value: 0, Capacity: 2, OrgCapacity: []int64{1, 1}},
+	)
+	if got := p.Route(0, 1, s); got != 1 {
+		t.Fatalf("fairness-aware left a fresh origin (got %d)", got)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"local":       "local",
+		"Local-Only":  "local",
+		"leastloaded": "leastloaded",
+		"greedy":      "leastloaded",
+		"fairness":    "fairness",
+		"FAIR":        "fairness",
+	} {
+		p, err := fed.PolicyByName(name)
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if p.Name() != want {
+			t.Fatalf("PolicyByName(%q) = %q, want %q", name, p.Name(), want)
+		}
+	}
+	if _, err := fed.PolicyByName("bogus"); err == nil {
+		t.Fatal("unknown policy name accepted")
+	}
+}
+
+// TestLeastLoadedOffloadsEndToEnd drives a real two-cluster federation
+// into imbalance: every submission arrives at cluster 0, and the
+// least-loaded policy must spill a strict majority of the second wave
+// to the idle cluster 1 while local-only leaves it idle.
+func TestLeastLoadedOffloadsEndToEnd(t *testing.T) {
+	build := func(policy fed.Policy) *fed.Federation {
+		specs := []fed.ClusterSpec{
+			{Name: "busy", Alg: algFactory("fairshare"), Machines: []int{1, 1}},
+			{Name: "idle", Alg: algFactory("fairshare"), Machines: []int{2, 2}},
+		}
+		f, err := fed.New([]string{"o0", "o1"}, specs, policy, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 24; i++ {
+			if _, err := f.Submit(0, i%2, 8, model.Time(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := f.Step(400); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	ll := build(fed.LeastLoaded{}).Ledger()
+	if ll.Routed[0][1] <= ll.Routed[0][0] {
+		t.Fatalf("least-loaded kept %d at the 2-machine origin, offloaded %d to the 4-machine idle site",
+			ll.Routed[0][0], ll.Routed[0][1])
+	}
+	lo := build(fed.LocalOnly{}).Ledger()
+	if lo.Routed[0][1] != 0 || lo.Executed[1] != 0 {
+		t.Fatalf("local-only touched the idle cluster: routed %d, executed %d", lo.Routed[0][1], lo.Executed[1])
+	}
+}

@@ -1,0 +1,184 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// FedScenario generates federated multi-cluster workloads for
+// internal/fed: one job stream per member cluster (each user submits at
+// a single home site), a heterogeneous [cluster][org] machine grid, and
+// optional diurnal modulation with per-cluster phase offsets — the
+// "clusters in different time zones" effect that makes offloading
+// profitable in the federated-clouds follow-up paper.
+type FedScenario struct {
+	// Base supplies the job-size distribution, burst structure, user
+	// count and total processor budget; its Procs are divided among the
+	// clusters by MachineSkew.
+	Base     Family
+	Clusters int
+	Orgs     int
+	// LoadSkew is the Zipf exponent of the per-cluster arrival shares:
+	// 0 spreads users uniformly, larger values concentrate submissions
+	// on the first clusters (arrival skew).
+	LoadSkew float64
+	// MachineSkew is the Zipf exponent of the per-cluster machine
+	// counts: 0 gives equal sites, larger values a few big sites and
+	// many small ones (heterogeneous machine counts).
+	MachineSkew float64
+	// Period, when positive, modulates each cluster's arrivals
+	// diurnally with period Period and relative amplitude Amplitude in
+	// [0,1); cluster c's phase is shifted by c/Clusters of the period,
+	// so cluster load peaks are staggered.
+	Period    model.Time
+	Amplitude float64
+}
+
+// DefaultFedScenario is a ready-to-run three-cluster scenario on the
+// saturated RICC-like family — the regime where delegation policy
+// choices are most visible.
+func DefaultFedScenario() FedScenario {
+	return FedScenario{
+		Base:        RICC(),
+		Clusters:    3,
+		Orgs:        3,
+		LoadSkew:    1,
+		MachineSkew: 0.5,
+		Period:      4000,
+		Amplitude:   0.8,
+	}
+}
+
+// Validate checks the scenario's structural constraints.
+func (s FedScenario) Validate() error {
+	if s.Clusters < 1 {
+		return fmt.Errorf("gen: federated scenario needs at least one cluster, got %d", s.Clusters)
+	}
+	if s.Orgs < 1 || s.Orgs > model.MaxOrgs {
+		return fmt.Errorf("gen: federated scenario org count %d out of range [1, %d]", s.Orgs, model.MaxOrgs)
+	}
+	if s.Base.Procs < s.Clusters {
+		return fmt.Errorf("gen: %d processors cannot cover %d clusters", s.Base.Procs, s.Clusters)
+	}
+	if s.Amplitude < 0 || s.Amplitude >= 1 {
+		return fmt.Errorf("gen: diurnal amplitude %v out of range [0, 1)", s.Amplitude)
+	}
+	if s.Period < 0 {
+		return fmt.Errorf("gen: diurnal period %d negative", s.Period)
+	}
+	return nil
+}
+
+// FedWorkload is one generated federated scenario instance, ready to
+// wire into internal/fed: org names, the [cluster][org] machine grid,
+// and each cluster's home-submitted job stream sorted by release.
+type FedWorkload struct {
+	Orgs     []string
+	Machines [][]int
+	Jobs     [][]model.Job
+}
+
+// TotalJobs returns the job count across every cluster stream.
+func (w *FedWorkload) TotalJobs() int {
+	n := 0
+	for _, js := range w.Jobs {
+		n += len(js)
+	}
+	return n
+}
+
+// MachineGrid returns the deterministic [cluster][org] machine grid:
+// Base.Procs split across clusters by MachineSkew, and each cluster's
+// share split across organizations by a Zipf rotated by the cluster
+// index — so every organization is machine-heavy at some site and a
+// tenant elsewhere, which is what gives the fairness-aware policy
+// contribution credit to route on.
+func (s FedScenario) MachineGrid() [][]int {
+	perCluster := stats.ZipfSplit(s.Base.Procs, s.Clusters, s.MachineSkew)
+	grid := make([][]int, s.Clusters)
+	base := stats.ZipfWeights(s.Orgs, 1)
+	for c := range grid {
+		w := make([]float64, s.Orgs)
+		for o := range w {
+			w[o] = base[(o+s.Orgs-c%s.Orgs)%s.Orgs]
+		}
+		grid[c] = stats.Apportion(perCluster[c], w)
+	}
+	return grid
+}
+
+// Generate produces one federated workload over [0, horizon): the base
+// family's trace is generated once, each user is homed at a cluster
+// (Zipf by LoadSkew) and owned by an organization (uniform deal), and
+// each cluster's stream is then thinned by its phase-shifted diurnal
+// rate. Deterministic given (scenario, horizon, rng state).
+func (s FedScenario) Generate(horizon model.Time, rng *rand.Rand) (*FedWorkload, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	tr := s.Base.Generate(horizon, rng)
+	users := tr.Users()
+	orgOf := trace.AssignUsers(users, s.Orgs, rng)
+	clusterWeights := stats.ZipfWeights(s.Clusters, s.LoadSkew)
+	clusterOf := make(map[int]int, len(users))
+	for _, u := range users {
+		clusterOf[u] = weightedPick(rng, clusterWeights)
+	}
+	w := &FedWorkload{
+		Machines: s.MachineGrid(),
+		Jobs:     make([][]model.Job, s.Clusters),
+	}
+	for o := 0; o < s.Orgs; o++ {
+		w.Orgs = append(w.Orgs, fmt.Sprintf("org%d", o))
+	}
+	for _, j := range tr.Jobs {
+		c := clusterOf[j.User]
+		if !s.keep(c, j.Submit, rng) {
+			continue
+		}
+		w.Jobs[c] = append(w.Jobs[c], model.Job{
+			Org:     orgOf[j.User],
+			Release: j.Submit,
+			Size:    j.Runtime,
+		})
+	}
+	for c := range w.Jobs {
+		js := w.Jobs[c]
+		sort.SliceStable(js, func(a, b int) bool { return js[a].Release < js[b].Release })
+	}
+	return w, nil
+}
+
+// keep applies cluster c's phase-shifted diurnal thinning to a
+// submission at time t: acceptance is proportional to
+// 1 + Amplitude·sin(2π(t+phase_c)/Period), normalized by the peak rate.
+// With Period 0 every submission is kept. The rng is consumed for every
+// candidate job, in trace order, so generation stays deterministic.
+func (s FedScenario) keep(c int, t model.Time, rng *rand.Rand) bool {
+	if s.Period <= 0 || s.Amplitude == 0 {
+		return true
+	}
+	draw := rng.Float64()
+	phase := float64(s.Period) * float64(c) / float64(s.Clusters)
+	rate := 1 + s.Amplitude*math.Sin(2*math.Pi*(float64(t)+phase)/float64(s.Period))
+	return draw*(1+s.Amplitude) < rate
+}
+
+// weightedPick draws an index proportionally to the weights (which sum
+// to 1, as returned by stats.ZipfWeights).
+func weightedPick(rng *rand.Rand, weights []float64) int {
+	x := rng.Float64()
+	for i, w := range weights {
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,165 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+func TestFedScenarioMachineGrid(t *testing.T) {
+	s := DefaultFedScenario()
+	grid := s.MachineGrid()
+	if len(grid) != s.Clusters {
+		t.Fatalf("grid has %d clusters, want %d", len(grid), s.Clusters)
+	}
+	total := 0
+	for c, row := range grid {
+		if len(row) != s.Orgs {
+			t.Fatalf("cluster %d row has %d orgs, want %d", c, len(row), s.Orgs)
+		}
+		sum := 0
+		for _, m := range row {
+			if m < 0 {
+				t.Fatalf("cluster %d has a negative machine count", c)
+			}
+			sum += m
+		}
+		if sum == 0 {
+			t.Fatalf("cluster %d has no machines", c)
+		}
+		total += sum
+	}
+	if total != s.Base.Procs {
+		t.Fatalf("grid places %d machines, budget is %d", total, s.Base.Procs)
+	}
+	// MachineSkew > 0 must actually produce heterogeneous sites.
+	first, last := 0, 0
+	for _, m := range grid[0] {
+		first += m
+	}
+	for _, m := range grid[len(grid)-1] {
+		last += m
+	}
+	if first <= last {
+		t.Fatalf("machine skew %v produced no size gradient: first site %d, last %d", s.MachineSkew, first, last)
+	}
+	// Each org's machines must concentrate at a different site (the
+	// rotated Zipf), so every org has a home where it is the largest
+	// contributor.
+	for o := 0; o < s.Orgs && o < s.Clusters; o++ {
+		row := grid[o]
+		for other := range row {
+			if other != o && row[other] > row[o] {
+				t.Fatalf("at cluster %d, org %d out-contributes the rotated home org %d (%v)", o, other, o, row)
+			}
+		}
+	}
+}
+
+func TestFedScenarioGenerateDeterministicAndSkewed(t *testing.T) {
+	s := DefaultFedScenario()
+	s.Base = s.Base.Scale(0.2)
+	w1, err := s.Generate(8000, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := s.Generate(8000, stats.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.TotalJobs() == 0 {
+		t.Fatal("scenario generated no jobs")
+	}
+	if w1.TotalJobs() != w2.TotalJobs() {
+		t.Fatalf("same seed, different job counts: %d vs %d", w1.TotalJobs(), w2.TotalJobs())
+	}
+	for c := range w1.Jobs {
+		if len(w1.Jobs[c]) != len(w2.Jobs[c]) {
+			t.Fatalf("same seed, cluster %d stream lengths differ", c)
+		}
+		for i := range w1.Jobs[c] {
+			if w1.Jobs[c][i] != w2.Jobs[c][i] {
+				t.Fatalf("same seed, cluster %d job %d differs", c, i)
+			}
+		}
+	}
+	// Arrival skew: with LoadSkew 1 the first cluster must receive the
+	// largest stream.
+	if len(w1.Jobs[0]) <= len(w1.Jobs[s.Clusters-1]) {
+		t.Fatalf("load skew %v produced no arrival gradient: %d vs %d jobs",
+			s.LoadSkew, len(w1.Jobs[0]), len(w1.Jobs[s.Clusters-1]))
+	}
+	// Streams are release-sorted and structurally valid.
+	for c, js := range w1.Jobs {
+		var prev model.Time
+		for i, j := range js {
+			if j.Release < prev {
+				t.Fatalf("cluster %d stream unsorted at %d", c, i)
+			}
+			prev = j.Release
+			if j.Size < 1 || j.Org < 0 || j.Org >= s.Orgs {
+				t.Fatalf("cluster %d job %d invalid: %+v", c, i, j)
+			}
+		}
+	}
+}
+
+// TestFedScenarioDiurnalPhases: with strong modulation, each cluster's
+// arrivals concentrate around its own phase of the period — the load
+// peaks are staggered, which is the property delegation exploits.
+func TestFedScenarioDiurnalPhases(t *testing.T) {
+	s := DefaultFedScenario()
+	s.Base = s.Base.Scale(0.4)
+	s.LoadSkew = 0 // equal shares, isolate the phase effect
+	s.Amplitude = 0.95
+	w, err := s.Generate(16000, stats.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean phase angle per cluster, as a vector average over each
+	// job's position within the period.
+	for c, js := range w.Jobs {
+		if len(js) < 50 {
+			t.Fatalf("cluster %d stream too thin (%d jobs) to measure phase", c, len(js))
+		}
+		var sx, sy float64
+		for _, j := range js {
+			a := 2 * math.Pi * float64(j.Release%s.Period) / float64(s.Period)
+			sx += math.Cos(a)
+			sy += math.Sin(a)
+		}
+		got := math.Atan2(sy, sx)
+		// Peak of 1+A·sin(2π(t+phase_c)/P) is at angle π/2 − 2π·c/C.
+		want := math.Pi/2 - 2*math.Pi*float64(c)/float64(s.Clusters)
+		diff := math.Abs(math.Atan2(math.Sin(got-want), math.Cos(got-want)))
+		if diff > math.Pi/3 {
+			t.Fatalf("cluster %d arrival phase %.2f rad, want within π/3 of %.2f", c, got, want)
+		}
+	}
+}
+
+func TestFedScenarioValidate(t *testing.T) {
+	s := DefaultFedScenario()
+	bad := s
+	bad.Clusters = 0
+	if _, err := bad.Generate(1000, stats.NewRand(1)); err == nil {
+		t.Error("zero clusters accepted")
+	}
+	bad = s
+	bad.Orgs = 0
+	if _, err := bad.Generate(1000, stats.NewRand(1)); err == nil {
+		t.Error("zero orgs accepted")
+	}
+	bad = s
+	bad.Amplitude = 1.5
+	if _, err := bad.Generate(1000, stats.NewRand(1)); err == nil {
+		t.Error("amplitude >= 1 accepted")
+	}
+	bad = s
+	bad.Base.Procs = bad.Clusters - 1
+	if _, err := bad.Generate(1000, stats.NewRand(1)); err == nil {
+		t.Error("fewer processors than clusters accepted")
+	}
+}
