@@ -304,10 +304,12 @@ func BenchmarkAblationShapley(b *testing.B) {
 // BenchmarkFederation measures federated multi-cluster scheduling
 // end-to-end: the default three-cluster diurnal scenario is generated
 // once, then driven through internal/fed under each delegation policy
-// with two per-cluster algorithm rosters (the polynomial DIRECTCONTR
-// everywhere, and exponential REF everywhere). Reported metrics:
-// "offload%" (jobs crossing cluster boundaries) and "value" (the
-// federation-wide coalition value Σ_c v_c).
+// — the baselines, the pricing ablations (capacity-normalized and
+// time-decayed φ−ψ credit) and the federation-level Shapley router
+// FedREF — with two per-cluster algorithm rosters (the polynomial
+// DIRECTCONTR everywhere, and exponential REF everywhere). Reported
+// metrics: "offload%" (jobs crossing cluster boundaries) and "value"
+// (the federation-wide coalition value Σ_c v_c).
 func BenchmarkFederation(b *testing.B) {
 	scen := gen.DefaultFedScenario()
 	scen.Base = scen.Base.Scale(0.15)
@@ -321,7 +323,10 @@ func BenchmarkFederation(b *testing.B) {
 		"ref":         func() core.StepperAlgorithm { return core.RefAlgorithm{} },
 	}
 	for _, algName := range []string{"directcontr", "ref"} {
-		for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}} {
+		for _, policy := range []fed.Policy{
+			fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
+			fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+		} {
 			policy := policy
 			mk := algs[algName]
 			b.Run(fmt.Sprintf("%s/%s", algName, policy.Name()), func(b *testing.B) {

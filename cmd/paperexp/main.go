@@ -6,7 +6,15 @@
 //	paperexp -fig10             # Figure 10: unfairness vs organizations
 //	paperexp -fig7              # Figure 7: greedy utilization gap
 //	paperexp -fig2              # Figure 2: worked utility example
+//	paperexp -fed               # federated delegation-policy comparison
 //	paperexp -all               # everything above
+//
+// -fed extends the evaluation toward the federated-clouds follow-up:
+// the default three-cluster diurnal scenario is routed under every
+// policy named by -fed-policies (local / leastloaded / fairness /
+// fairness-capacity / fairness-decay / fedref), reporting offloaded
+// fraction, federation-wide value and federation-level Δψ/p_tot
+// against the local-only routing of the same instances.
 //
 // Workload families are scaled-down replicas of the archive traces by
 // default (see DESIGN.md); -scale=full restores the original processor
@@ -21,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -57,13 +66,19 @@ func run(args []string, stdout, stderr io.Writer) error {
 		driver    = fs.String("ref-driver", "heap", "REF event loop: heap (indexed event heap) or scan (legacy full scan)")
 		horizon1  = fs.Int64("horizon1", 50000, "Table 1 / Figure 10 horizon")
 		horizon2  = fs.Int64("horizon2", 500000, "Table 2 horizon")
+
+		fedTable     = fs.Bool("fed", false, "compare delegation policies on the federated diurnal grid")
+		fedHorizon   = fs.Int64("fed-horizon", 8000, "federated experiment horizon")
+		fedPolicies  = fs.String("fed-policies", "local,leastloaded,fairness,fedref", "comma-separated delegation policies for -fed")
+		fedAlg       = fs.String("fed-alg", "directcontr", "member-cluster algorithm for -fed")
+		fedStaleness = fs.Int64("fed-staleness", 0, "summary gossip staleness Δt for -fed (0 = fresh every release)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *all) {
+	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *fedTable || *all) {
 		fs.Usage()
-		return fmt.Errorf("nothing selected (want -table1, -table2, -fig10, -fig7, -fig2 or -all)")
+		return fmt.Errorf("nothing selected (want -table1, -table2, -fig10, -fig7, -fig2, -fed or -all)")
 	}
 	refDriver, err := core.ParseRefDriver(*driver)
 	if err != nil {
@@ -145,6 +160,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprint(stdout, t.RenderSeries(fmt.Sprintf(
 			"=== Figure 10: Δψ/p_tot vs number of organizations (LPC-EGEE, %d instances) ===",
 			*instances)))
+		fmt.Fprintln(stdout)
+	}
+	if *all || *fedTable {
+		cfg := exp.DefaultFedConfig()
+		if *scale != "full" {
+			cfg.Scenario.Base = cfg.Scenario.Base.Scale(0.2)
+		}
+		cfg.Horizon = model.Time(*fedHorizon)
+		cfg.Instances = *instances
+		cfg.Seed = *seed
+		cfg.Alg = *fedAlg
+		cfg.Samples = *samples
+		cfg.RefOpts = refOpts
+		cfg.Workers = *workers
+		cfg.Staleness = model.Time(*fedStaleness)
+		var names []string
+		for _, name := range strings.Split(*fedPolicies, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				names = append(names, name)
+			}
+		}
+		t, err := exp.FedPolicyTable(cfg, names)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.Render(fmt.Sprintf(
+			"=== Federated delegation: %d clusters, %s members, horizon %d, staleness %d, %d instances, scale=%s ===",
+			cfg.Scenario.Clusters, cfg.Alg, cfg.Horizon, cfg.Staleness, cfg.Instances, *scale)))
 		fmt.Fprintln(stdout)
 	}
 	return nil

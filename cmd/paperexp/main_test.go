@@ -54,6 +54,28 @@ func TestRunFig10Tiny(t *testing.T) {
 	}
 }
 
+// The federated delegation table at a toy budget: every policy row and
+// metric column renders, including the FedREF routing.
+func TestRunFedTiny(t *testing.T) {
+	out := tinyRun(t, "-fed", "-fed-horizon", "1200", "-instances", "2",
+		"-fed-policies", "local,leastloaded,fairness,fairness-decay,fedref")
+	for _, want := range []string{"Federated delegation", "offload%", "value", "Δψ/p_tot",
+		"local", "leastloaded", "fairness", "fairness-decay", "fedref"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The staleness knob reaches the harness: a stale run still renders.
+func TestRunFedStaleTiny(t *testing.T) {
+	out := tinyRun(t, "-fed", "-fed-horizon", "1000", "-instances", "1",
+		"-fed-staleness", "400", "-fed-policies", "local,fedref")
+	if !strings.Contains(out, "staleness 400") {
+		t.Errorf("staleness not threaded through:\n%s", out)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if err := run(nil, &stdout, &stderr); err == nil {
@@ -64,5 +86,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr); err == nil {
 		t.Fatal("unknown flag accepted")
+	}
+	if err := run([]string{"-fed", "-fed-policies", "bogus", "-instances", "1"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown delegation policy accepted")
 	}
 }

@@ -14,7 +14,9 @@
 //
 //	internal/model    — organizations, jobs, coalitions, instances
 //	internal/utility  — ψsp and classic scheduling metrics
-//	internal/shapley  — generic Shapley-value machinery
+//	internal/shapley  — generic Shapley-value machinery, plus the
+//	                    dynamic-game layer (ContribGame, Contrib) the
+//	                    REF drivers and FedREF both run on
 //	internal/sim      — event-driven cluster simulator with greedy dispatch,
 //	                    online job injection and state capture/restore
 //	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR,
@@ -24,17 +26,21 @@
 //	                    plus the single-run HTTP serving layer
 //	internal/fed      — federated multi-cluster scheduling: N member
 //	                    clusters, pluggable delegation policies (local,
-//	                    least-loaded, fairness-aware), federation-wide
-//	                    contribution ledger, lockstep checkpoints
+//	                    least-loaded, fairness-aware + pricing ablations,
+//	                    federation-level Shapley routing via fed.Game and
+//	                    RefPolicy), summary-gossip staleness, federation-
+//	                    wide contribution ledger, lockstep checkpoints
 //	internal/daemon   — multi-session serving layer: many concurrent
-//	                    runs (single or federated) managed over HTTP,
-//	                    flushed to checkpoint envelopes on shutdown
+//	                    runs (single or federated) over HTTP on a
+//	                    sharded session table, flushed to checkpoint
+//	                    envelopes on shutdown
 //	internal/trace    — Standard Workload Format (SWF) reader/writer and
 //	                    the O(1)-memory streaming Reader
 //	internal/gen      — synthetic workload families and federated
 //	                    scenario generation (arrival skew, diurnal
 //	                    phase offsets, heterogeneous sites)
-//	internal/exp      — Table 1/2 and Figure 7/10 experiment runners
+//	internal/exp      — Table 1/2, Figure 7/10 and federated delegation
+//	                    (policy × metric) experiment runners
 //	cmd/...           — fairsched, fairschedd (multi-session daemon),
 //	                    paperexp, tracegen, benchjson executables
 //	examples/...      — runnable scenarios built on the public API

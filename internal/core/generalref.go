@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/model"
+	"repro/internal/shapley"
 	"repro/internal/sim"
 	"repro/internal/utility"
 )
@@ -34,29 +35,27 @@ type GeneralRef struct {
 	grand model.Coalition
 	util  utility.Func
 
-	sims    []*sim.Cluster
-	bySize  []model.Coalition
-	execs   [][][]utility.Execution // [mask][org] -> executions
-	psi     [][]int64               // [mask][org]
-	phi     [][]float64             // [mask][org]
-	vals    []int64                 // [mask], updated by updateVals in size order
-	weights [][]float64
+	sims   []*sim.Cluster
+	bySize []model.Coalition
+	execs  [][][]utility.Execution // [mask][org] -> executions
+	psi    [][]int64               // [mask][org]
+	phi    [][]float64             // [mask][org]
+	ct     *shapley.Contrib        // coalition values, updated by updateVals in size order
 }
 
 // NewGeneralRef builds the arbitrary-utility reference scheduler.
 func NewGeneralRef(inst *model.Instance, util utility.Func) *GeneralRef {
 	k := len(inst.Orgs)
 	g := &GeneralRef{
-		inst:    inst,
-		k:       k,
-		grand:   model.Grand(k),
-		util:    util,
-		sims:    make([]*sim.Cluster, 1<<uint(k)),
-		execs:   make([][][]utility.Execution, 1<<uint(k)),
-		psi:     make([][]int64, 1<<uint(k)),
-		phi:     make([][]float64, 1<<uint(k)),
-		vals:    make([]int64, 1<<uint(k)),
-		weights: shapleyWeightTable(k),
+		inst:  inst,
+		k:     k,
+		grand: model.Grand(k),
+		util:  util,
+		sims:  make([]*sim.Cluster, 1<<uint(k)),
+		execs: make([][][]utility.Execution, 1<<uint(k)),
+		psi:   make([][]int64, 1<<uint(k)),
+		phi:   make([][]float64, 1<<uint(k)),
+		ct:    shapley.NewContrib(k),
 	}
 	for mask := model.Coalition(1); mask <= g.grand; mask++ {
 		g.sims[mask] = sim.New(inst, mask, &generalRefPolicy{g: g, mask: mask}, nil)
@@ -107,7 +106,7 @@ func (g *GeneralRef) Run(until model.Time) *Result {
 	grand := g.sims[g.grand]
 	res := resultFromCluster("GeneralREF("+g.util.Name()+")", grand, until, append([]float64(nil), g.phi[g.grand]...))
 	res.Psi = append([]int64(nil), g.psi[g.grand]...)
-	res.Value = g.vals[g.grand]
+	res.Value = g.ct.Value(g.grand)
 	return res
 }
 
@@ -120,8 +119,8 @@ func (g *GeneralRef) refreshAt(t model.Time) {
 
 // updateVals is the UpdateVals procedure of Figure 1 for one coalition:
 // member utilities from the coalition's own schedule, the coalition
-// value as their sum, and contributions by the Shapley subset formula
-// over the currently stored subcoalition values.
+// value as their sum, and contributions by the contribution engine's
+// Shapley subset formula over the currently stored subcoalition values.
 func (g *GeneralRef) updateVals(mask model.Coalition, t model.Time) {
 	psi := g.psi[mask]
 	var value int64
@@ -129,19 +128,8 @@ func (g *GeneralRef) updateVals(mask model.Coalition, t model.Time) {
 		psi[u] = g.util.Eval(g.execs[mask][u], t)
 		value += psi[u]
 	})
-	g.vals[mask] = value
-	phi := g.phi[mask]
-	for i := range phi {
-		phi[i] = 0
-	}
-	w := g.weights[mask.Size()]
-	mask.EachNonemptySubset(func(sub model.Coalition) {
-		vsub := g.vals[sub]
-		weight := w[sub.Size()]
-		sub.EachMember(func(u int) {
-			phi[u] += weight * float64(vsub-g.vals[sub.Without(u)])
-		})
-	})
+	g.ct.SetValue(mask, value)
+	g.ct.PhiInto(mask, g.phi[mask])
 }
 
 // PhiOf returns the last computed contribution vector of a coalition.

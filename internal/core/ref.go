@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/model"
+	"repro/internal/shapley"
 	"repro/internal/sim"
 )
 
@@ -79,19 +79,22 @@ type Ref struct {
 	opts  RefOptions
 	seed  int64 // recorded in checkpoints; REF itself ignores it
 
-	sims    []*sim.Cluster // indexed by coalition mask; [0] is nil
-	bySize  []model.Coalition
-	phi     [][]float64 // per mask: contribution vector
-	adj     [][]float64 // per mask: within-instant rotation adjustments
-	vals    []int64     // scratch: coalition values at the current event
-	weights [][]float64 // weights[c][s] = (s−1)!(c−s)!/c!
+	sims   []*sim.Cluster // indexed by coalition mask; [0] is nil
+	bySize []model.Coalition
+	phi    [][]float64 // per mask: contribution vector
+	adj    [][]float64 // per mask: within-instant rotation adjustments
+	// ct is the game-generic contribution engine: the dense coalition
+	// value snapshot, dispatch stamps and memoized weight tables live
+	// there; this file only decides when to refresh and which coalition
+	// to compute φ for. The engine reads values through Game(), the
+	// org-level ContribGame instance.
+	ct *shapley.Contrib
 
 	// Event-heap driver state, persistent across StepNext calls so a
 	// run can be held open, fed and checkpointed. Rebuilt from the
 	// cluster states lazily (ensureDriver) — never serialized.
 	h           *eventHeap
 	polys       []sim.ValuePoly
-	stamp       []model.Time
 	driverReady bool
 	touched     []model.Coalition // scratch for stepHeap
 }
@@ -100,15 +103,14 @@ type Ref struct {
 func NewRef(inst *model.Instance, opts RefOptions) *Ref {
 	k := len(inst.Orgs)
 	r := &Ref{
-		inst:    inst,
-		k:       k,
-		grand:   model.Grand(k),
-		opts:    opts,
-		sims:    make([]*sim.Cluster, 1<<uint(k)),
-		phi:     make([][]float64, 1<<uint(k)),
-		adj:     make([][]float64, 1<<uint(k)),
-		vals:    make([]int64, 1<<uint(k)),
-		weights: shapleyWeightTable(k),
+		inst:  inst,
+		k:     k,
+		grand: model.Grand(k),
+		opts:  opts,
+		sims:  make([]*sim.Cluster, 1<<uint(k)),
+		phi:   make([][]float64, 1<<uint(k)),
+		adj:   make([][]float64, 1<<uint(k)),
+		ct:    shapley.NewContrib(k),
 	}
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		r.sims[mask] = sim.New(inst, mask, &refPolicy{r: r, mask: mask}, nil)
@@ -127,38 +129,38 @@ func NewRef(inst *model.Instance, opts RefOptions) *Ref {
 	return r
 }
 
-// weightTables memoizes shapleyWeightTable across Ref instances: the
-// experiment harness builds thousands of Refs for the same handful of
-// organization counts, and the tables are immutable once built.
-var weightTables sync.Map // int (k) -> [][]float64
+// orgGame is the org-level instance of shapley.ContribGame — the game
+// the paper's Section 2 defines, with organizations as players and
+// v(C, t) the ψsp-sum of coalition C's own greedy schedule at t. A
+// coalition's value is answered from its live cluster when the cluster
+// stands at t, and from its cached sim.ValuePoly otherwise (the
+// event-heap driver's dirty tracking: only clusters whose own events
+// fired since the last snapshot are ever flushed).
+//
+// The poly path is reachable only while the heap driver is live (the
+// scan driver and ResultAt always align every cluster with the queried
+// instant first), so callers outside this package should query at the
+// clusters' current instant — e.g. the horizon, after Run.
+type orgGame struct{ r *Ref }
 
-// shapleyWeightTable returns w[c][s] = (s−1)!·(c−s)!/c! — the weight of
-// the marginal term v(S) − v(S∖{u}) for |S| = s inside a coalition of
-// size c (the UpdateVals weights of Figure 1). Tables are shared and
-// must not be mutated.
-func shapleyWeightTable(k int) [][]float64 {
-	if w, ok := weightTables.Load(k); ok {
-		return w.([][]float64)
+// Players implements shapley.ContribGame.
+func (g orgGame) Players() int { return g.r.k }
+
+// ValueAt implements shapley.ContribGame.
+func (g orgGame) ValueAt(c model.Coalition, t model.Time) int64 {
+	if c.Empty() {
+		return 0
 	}
-	w, _ := weightTables.LoadOrStore(k, buildWeightTable(k))
-	return w.([][]float64)
+	if s := g.r.sims[c]; s.Now() == t {
+		return s.Value()
+	}
+	return g.r.polys[c].At(t)
 }
 
-func buildWeightTable(k int) [][]float64 {
-	fact := make([]float64, k+1)
-	fact[0] = 1
-	for i := 1; i <= k; i++ {
-		fact[i] = fact[i-1] * float64(i)
-	}
-	w := make([][]float64, k+1)
-	for c := 1; c <= k; c++ {
-		w[c] = make([]float64, c+1)
-		for s := 1; s <= c; s++ {
-			w[c][s] = fact[s-1] * fact[c-s] / fact[c]
-		}
-	}
-	return w
-}
+// Game exposes REF's org-level cooperative game so the generic Shapley
+// estimators (shapley.ExactAt, shapley.SampleAt) can consume the same
+// coalition values the drivers schedule by.
+func (r *Ref) Game() shapley.ContribGame { return orgGame{r} }
 
 // Run drives every subcoalition schedule to the horizon and returns the
 // grand coalition's result, with exact Shapley contributions. It is a
@@ -204,7 +206,7 @@ func (r *Ref) FinishAt(t model.Time) { r.advanceAll(t) }
 // ResultAt implements Stepper: the grand coalition's result with exact
 // contributions at time t (clocks must already stand at t).
 func (r *Ref) ResultAt(t model.Time) *Result {
-	r.refreshValues()
+	r.ct.Refresh(r.Game(), t)
 	r.computePhi(r.grand)
 	phi := append([]float64(nil), r.phi[r.grand]...)
 	return resultFromCluster(r.Name(), r.sims[r.grand], t, phi)
@@ -237,7 +239,7 @@ func (r *Ref) stepScan(until model.Time) bool {
 		return false
 	}
 	r.advanceAll(t)
-	r.dispatchAll()
+	r.dispatchAll(t)
 	return true
 }
 
@@ -266,20 +268,13 @@ func (r *Ref) advanceAll(t model.Time) {
 	})
 }
 
-// refreshValues snapshots every coalition's value at the current time.
-func (r *Ref) refreshValues() {
-	r.vals[0] = 0
-	for mask := model.Coalition(1); mask <= r.grand; mask++ {
-		r.vals[mask] = r.sims[mask].Value()
-	}
-}
-
 // dispatchAll lets every coalition with a free machine and waiting jobs
 // schedule, smallest coalitions first (Figure 1's FairAlgorithm loop).
 // Coalition values at the current instant are unaffected by same-instant
 // starts (a job started at t has executed nothing before t), so one
-// value snapshot serves all coalitions.
-func (r *Ref) dispatchAll() {
+// value snapshot serves all coalitions. Every cluster stands at t here
+// (advanceAll ran), so the snapshot reads live values.
+func (r *Ref) dispatchAll(t model.Time) {
 	any := false
 	for _, mask := range r.bySize {
 		if r.sims[mask].CanDispatch() {
@@ -290,7 +285,7 @@ func (r *Ref) dispatchAll() {
 	if !any {
 		return
 	}
-	r.refreshValues()
+	r.ct.Refresh(r.Game(), t)
 	for _, mask := range r.bySize {
 		c := r.sims[mask]
 		if !c.CanDispatch() {
@@ -302,24 +297,15 @@ func (r *Ref) dispatchAll() {
 }
 
 // computePhi fills r.phi[mask] with the exact Shapley contributions of
-// the coalition's members, computed from the current subcoalition value
-// snapshot (the UpdateVals procedure of Figure 1). Rotation adjustments
-// are reset alongside.
+// the coalition's members, computed by the contribution engine from the
+// current subcoalition value snapshot (the UpdateVals procedure of
+// Figure 1). Rotation adjustments are reset alongside.
 func (r *Ref) computePhi(mask model.Coalition) {
-	phi := r.phi[mask]
+	r.ct.PhiInto(mask, r.phi[mask])
 	adj := r.adj[mask]
-	for i := range phi {
-		phi[i] = 0
+	for i := range adj {
 		adj[i] = 0
 	}
-	w := r.weights[mask.Size()]
-	mask.EachNonemptySubset(func(sub model.Coalition) {
-		vsub := r.vals[sub]
-		weight := w[sub.Size()]
-		sub.EachMember(func(u int) {
-			phi[u] += weight * float64(vsub-r.vals[sub.Without(u)])
-		})
-	})
 }
 
 // PhiOf returns the most recently computed contribution vector for a

@@ -50,16 +50,13 @@ func (r *Ref) ensureDriver() {
 	if r.h == nil {
 		r.h = newEventHeap(n)
 		r.polys = make([]sim.ValuePoly, n)
-		r.stamp = make([]model.Time, n)
 		r.touched = make([]model.Coalition, 0, n)
 	}
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		r.polys[mask] = r.sims[mask].ValuePoly()
 	}
 	r.rebuildHeap()
-	for i := range r.stamp {
-		r.stamp[i] = -1
-	}
+	r.ct.ResetStamps()
 	r.driverReady = true
 }
 
@@ -95,7 +92,7 @@ func (r *Ref) stepHeap(until model.Time) bool {
 		r.touched = append(r.touched, r.h.pop())
 	}
 	r.advanceMasks(r.touched, t)
-	r.dispatchTouched(r.touched, t, r.polys, r.stamp)
+	r.dispatchTouched(r.touched, t)
 	for _, mask := range r.touched {
 		r.polys[mask] = r.sims[mask].ValuePoly()
 		if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
@@ -133,10 +130,12 @@ func (r *Ref) advanceMasks(masks []model.Coalition, t model.Time) {
 }
 
 // dispatchTouched runs the Figure 1 dispatch loop over the touched set,
-// smallest coalitions first, filling the value snapshot lazily: a
-// subcoalition's value at t comes from its live cluster when the
-// cluster was touched at t, and from its cached polynomial otherwise.
-func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time, polys []sim.ValuePoly, stamp []model.Time) {
+// smallest coalitions first, filling the contribution engine's value
+// snapshot lazily through the org-level game: a subcoalition's value at
+// t comes from its live cluster when the cluster was touched at t, and
+// from its cached polynomial otherwise (orgGame.ValueAt); the engine's
+// stamps make each subcoalition cost one evaluation per instant.
+func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time) {
 	any := false
 	for _, mask := range touched {
 		if r.sims[mask].CanDispatch() {
@@ -154,23 +153,13 @@ func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time, polys []s
 		}
 		return touched[i] < touched[j]
 	})
-	r.vals[0] = 0
+	game := r.Game()
 	for _, mask := range touched {
 		c := r.sims[mask]
 		if !c.CanDispatch() {
 			continue
 		}
-		mask.EachNonemptySubset(func(sub model.Coalition) {
-			if stamp[sub] == t {
-				return
-			}
-			stamp[sub] = t
-			if r.sims[sub].Now() == t {
-				r.vals[sub] = r.sims[sub].Value()
-			} else {
-				r.vals[sub] = polys[sub].At(t)
-			}
-		})
+		r.ct.FillSubsets(game, mask, t)
 		r.computePhi(mask)
 		c.Dispatch()
 	}

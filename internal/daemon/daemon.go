@@ -11,15 +11,21 @@
 // session, and resume them all at next boot (see Manager.FlushAll and
 // Manager.LoadDir, wired to SIGINT/SIGTERM in cmd/fairschedd).
 //
-// Locking: the Manager guards the session table; each Session guards
-// its own run. Requests against different sessions proceed in
-// parallel, requests against one session serialize — the engine and
-// federation types are single-goroutine objects by contract.
+// Locking: the Manager stripes the session table over sessionShards
+// independently locked shards keyed by a hash of the session id, so
+// create/look-up/delete traffic against different sessions rarely
+// contends on a shared mutex (the north-star's hundreds-of-concurrent-
+// sessions regime); a small separate lock guards only the creation-
+// order listing and the id counter. Each Session guards its own run.
+// Requests against different sessions proceed in parallel, requests
+// against one session serialize — the engine and federation types are
+// single-goroutine objects by contract.
 package daemon
 
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sort"
@@ -61,10 +67,12 @@ type SessionConfig struct {
 	Machines int    `json:"machines,omitempty"`
 	Split    string `json:"split,omitempty"`
 
-	// Federation configuration.
-	OrgNames []string        `json:"org_names,omitempty"`
-	Clusters []ClusterConfig `json:"clusters,omitempty"`
-	Policy   string          `json:"policy,omitempty"`
+	// Federation configuration. Staleness is the summary-gossip
+	// staleness Δt (0 = fresh summaries at every release instant).
+	OrgNames  []string        `json:"org_names,omitempty"`
+	Clusters  []ClusterConfig `json:"clusters,omitempty"`
+	Policy    string          `json:"policy,omitempty"`
+	Staleness model.Time      `json:"staleness,omitempty"`
 
 	// Shared algorithm options.
 	Seed        int64  `json:"seed,omitempty"`
@@ -200,6 +208,7 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
+		f.SetStaleness(cfg.Staleness)
 		s.fedn = f
 	default:
 		return nil, fmt.Errorf("daemon: unknown session kind %q (want %q or %q)", cfg.Kind, KindSingle, KindFederation)
@@ -479,65 +488,123 @@ func (s *Session) restoreLocked(data []byte) error {
 	return nil
 }
 
-// Manager is the session table: create, look up, list, delete, and
-// flush/reload every session.
-type Manager struct {
+// sessionShards is the number of independently locked stripes of the
+// session table. A power of two so the hash folds cheaply; 16 stripes
+// keep contention negligible far past the concurrency one process
+// serves.
+const sessionShards = 16
+
+// sessionShard is one stripe of the session table.
+type sessionShard struct {
 	mu       sync.Mutex
 	sessions map[string]*Session
-	order    []string // creation order, for stable listings
-	nextID   int
+}
+
+// Manager is the session table: create, look up, list, delete, and
+// flush/reload every session. Sessions live in sessionShards striped
+// maps keyed by an FNV hash of the session id; only the creation-order
+// listing and the auto-id counter share a lock.
+type Manager struct {
+	shards [sessionShards]sessionShard
+
+	// mu guards order and nextID. Lock order: a shard's mutex may be
+	// held while taking mu (Create and Delete update the shard map and
+	// the listing atomically), never the reverse — List snapshots order
+	// under mu alone and resolves sessions afterwards.
+	mu     sync.Mutex
+	order  []string // creation order, for stable listings
+	nextID int
 }
 
 // NewManager returns an empty session manager.
 func NewManager() *Manager {
-	return &Manager{sessions: make(map[string]*Session)}
+	m := &Manager{}
+	for i := range m.shards {
+		m.shards[i].sessions = make(map[string]*Session)
+	}
+	return m
+}
+
+// shard returns the stripe owning the id.
+func (m *Manager) shard(id string) *sessionShard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%sessionShards]
+}
+
+// freshID reserves the next auto-assigned "s<N>" identifier. The
+// counter is monotonic under m.mu, so concurrent auto-id creations get
+// distinct ids; collisions with explicit ids are re-drawn by Create.
+func (m *Manager) freshID() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nextID++
+	return fmt.Sprintf("s%d", m.nextID)
 }
 
 // Create builds a new session from cfg. id may be empty, in which case
 // a fresh "s<N>" identifier is assigned. Identifiers must be usable in
 // URL paths: one path segment, no slashes.
 func (m *Manager) Create(id string, cfg SessionConfig) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if id == "" {
-		for {
-			m.nextID++
-			id = fmt.Sprintf("s%d", m.nextID)
-			if _, taken := m.sessions[id]; !taken {
-				break
-			}
-		}
+	auto := id == ""
+	if auto {
+		id = m.freshID()
 	}
 	if strings.ContainsAny(id, "/ ") {
 		return nil, fmt.Errorf("daemon: session id %q contains a slash or space", id)
 	}
-	if _, exists := m.sessions[id]; exists {
+	if _, exists := m.Get(id); exists && !auto {
+		// Cheap pre-check so a duplicate id fails before the session —
+		// possibly a whole federation — is built. The insert below
+		// re-checks authoritatively.
 		return nil, fmt.Errorf("daemon: session %q already exists", id)
 	}
 	s, err := newSession(id, cfg)
 	if err != nil {
 		return nil, err
 	}
-	m.sessions[id] = s
-	m.order = append(m.order, id)
-	return s, nil
+	for {
+		sh := m.shard(id)
+		sh.mu.Lock()
+		if _, exists := sh.sessions[id]; exists {
+			sh.mu.Unlock()
+			if auto { // an explicit id squatted on the counter: draw again
+				id = m.freshID()
+				s.id = id
+				continue
+			}
+			return nil, fmt.Errorf("daemon: session %q already exists", id)
+		}
+		sh.sessions[id] = s
+		// Shard insert and order append are atomic under the shard lock,
+		// so a concurrent Delete can never observe one without the other.
+		m.mu.Lock()
+		m.order = append(m.order, id)
+		m.mu.Unlock()
+		sh.mu.Unlock()
+		return s, nil
+	}
 }
 
 // Get returns the session with the given id.
 func (m *Manager) Get(id string) (*Session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.sessions[id]
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[id]
 	return s, ok
 }
 
-// List returns every live session in creation order.
+// List returns every live session in creation order. A session created
+// or deleted concurrently with List may or may not appear; sessions
+// present for the whole call always do.
 func (m *Manager) List() []*Session {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Session, 0, len(m.sessions))
-	for _, id := range m.order {
-		if s, ok := m.sessions[id]; ok {
+	order := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]*Session, 0, len(order))
+	for _, id := range order {
+		if s, ok := m.Get(id); ok {
 			out = append(out, s)
 		}
 	}
@@ -547,18 +614,21 @@ func (m *Manager) List() []*Session {
 // Delete removes a session. The run is simply dropped — callers wanting
 // its final state checkpoint first.
 func (m *Manager) Delete(id string) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.sessions[id]; !ok {
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[id]; !ok {
 		return false
 	}
-	delete(m.sessions, id)
+	delete(sh.sessions, id)
+	m.mu.Lock()
 	for i, oid := range m.order {
 		if oid == id {
 			m.order = append(m.order[:i], m.order[i+1:]...)
 			break
 		}
 	}
+	m.mu.Unlock()
 	return true
 }
 

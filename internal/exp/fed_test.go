@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// The federated policy table end to end at a toy budget: every policy
+// row fills every metric column, the local-only row is the zero of both
+// offload and unfairness, and a delegating policy must move jobs.
+func TestFedPolicyTableTiny(t *testing.T) {
+	cfg := DefaultFedConfig()
+	cfg.Scenario.Base = cfg.Scenario.Base.Scale(0.12)
+	cfg.Horizon = 2500
+	cfg.Instances = 2
+	cfg.Workers = 2
+	table, err := FedPolicyTable(cfg, []string{"local", "leastloaded", "fairness", "fedref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{FedMetricOffload, FedMetricValue, FedMetricDelta} {
+		for _, policy := range []string{"local", "leastloaded", "fairness", "fedref"} {
+			if table.Get(metric, policy) == nil {
+				t.Fatalf("missing cell (%s, %s)", metric, policy)
+			}
+		}
+	}
+	if got := table.Get(FedMetricOffload, "local").Mean; got != 0 {
+		t.Fatalf("local-only offloaded %v%%", got)
+	}
+	if got := table.Get(FedMetricDelta, "local").Mean; got != 0 {
+		t.Fatalf("local-only unfairness vs itself is %v", got)
+	}
+	if got := table.Get(FedMetricOffload, "leastloaded").Mean; got == 0 {
+		t.Fatal("least-loaded never offloaded on the skewed diurnal scenario")
+	}
+	if got := table.Get(FedMetricValue, "fedref").Mean; got <= 0 {
+		t.Fatalf("fedref federation value %v", got)
+	}
+	out := table.Render("fed")
+	for _, want := range []string{"offload%", "value", "fedref", "leastloaded"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Config validation surfaces as errors, not panics.
+func TestFedPolicyTableValidation(t *testing.T) {
+	cfg := DefaultFedConfig()
+	cfg.Instances = 0
+	if _, err := FedPolicyTable(cfg, []string{"local"}); err == nil {
+		t.Error("zero instances accepted")
+	}
+	cfg = DefaultFedConfig()
+	if _, err := FedPolicyTable(cfg, nil); err == nil {
+		t.Error("empty policy list accepted")
+	}
+	cfg.Instances = 1
+	if _, err := FedPolicyTable(cfg, []string{"bogus"}); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	cfg.Alg = "bogus"
+	if _, err := FedPolicyTable(cfg, []string{"local"}); err == nil {
+		t.Error("unknown member algorithm accepted")
+	}
+	cfg = DefaultFedConfig()
+	cfg.Scenario = gen.FedScenario{}
+	if _, err := FedPolicyTable(cfg, []string{"local"}); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+}

@@ -11,19 +11,20 @@ func (t *Table) Render(title string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
 	colw := 11
-	fmt.Fprintf(&b, "%-16s", "")
+	roww := t.rowLabelWidth()
+	fmt.Fprintf(&b, "%-*s", roww, "")
 	for _, w := range t.Workloads {
 		fmt.Fprintf(&b, " | %-*s", 2*colw+1, w)
 	}
 	b.WriteString("\n")
-	fmt.Fprintf(&b, "%-16s", "Algorithm")
+	fmt.Fprintf(&b, "%-*s", roww, "Algorithm")
 	for range t.Workloads {
 		fmt.Fprintf(&b, " | %*s %*s", colw, "Avg", colw, "St.dev")
 	}
 	b.WriteString("\n")
-	b.WriteString(strings.Repeat("-", 16+len(t.Workloads)*(2*colw+4)) + "\n")
+	b.WriteString(strings.Repeat("-", roww+len(t.Workloads)*(2*colw+4)) + "\n")
 	for _, alg := range t.Algorithms {
-		fmt.Fprintf(&b, "%-16s", alg)
+		fmt.Fprintf(&b, "%-*s", roww, alg)
 		for _, w := range t.Workloads {
 			s := t.Get(w, alg)
 			if s == nil {
@@ -35,6 +36,19 @@ func (t *Table) Render(title string) string {
 		b.WriteString("\n")
 	}
 	return b.String()
+}
+
+// rowLabelWidth sizes the row-label column: the paper tables' classic
+// 16 characters, widened when a row name (a long policy name in the
+// federated table) would overflow it.
+func (t *Table) rowLabelWidth() int {
+	w := 16
+	for _, alg := range t.Algorithms {
+		if len(alg)+1 > w {
+			w = len(alg) + 1
+		}
+	}
+	return w
 }
 
 // RenderSeries prints the table as one series per algorithm over the

@@ -29,6 +29,15 @@ type Checkpoint struct {
 	Decs    []Decision         `json:"decisions,omitempty"`
 	Ledger  *Ledger            `json:"ledger"`
 	Members []MemberCheckpoint `json:"members"`
+
+	// Summary-gossip staleness state: the knob itself and, when a
+	// cached exchange snapshot is live, the snapshot and its timestamp —
+	// restoring mid-gossip-period must route on the same stale view an
+	// uninterrupted run would.
+	Staleness model.Time `json:"staleness,omitempty"`
+	ExAt      model.Time `json:"ex_at,omitempty"`
+	ExSums    []Summary  `json:"ex_sums,omitempty"`
+	ExRouted  [][]int64  `json:"ex_routed,omitempty"`
 }
 
 // MemberCheckpoint is one member cluster's state: identity, machine
@@ -45,15 +54,21 @@ type MemberCheckpoint struct {
 // byte-identically: same future routing, same decisions, same ψ.
 func (f *Federation) Snapshot() ([]byte, error) {
 	cp := Checkpoint{
-		Version: CheckpointVersion,
-		Policy:  f.policy.Name(),
-		Seed:    f.seed,
-		Now:     f.now,
-		Orgs:    f.orgs,
-		NextSeq: f.nextSeq,
-		Pending: f.pending,
-		Decs:    f.decs,
-		Ledger:  f.Ledger(),
+		Version:   CheckpointVersion,
+		Policy:    f.policy.Name(),
+		Seed:      f.seed,
+		Now:       f.now,
+		Orgs:      f.orgs,
+		NextSeq:   f.nextSeq,
+		Pending:   f.pending,
+		Decs:      f.decs,
+		Ledger:    f.Ledger(),
+		Staleness: f.staleness,
+	}
+	if f.exValid {
+		cp.ExAt = f.exAt
+		cp.ExSums = f.exSums
+		cp.ExRouted = f.exRouted
 	}
 	for i, m := range f.members {
 		snap, err := m.eng.Snapshot()
@@ -107,15 +122,41 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 		return nil, fmt.Errorf("fed: restore: %w", err)
 	}
 	f := &Federation{
-		orgs:     append([]string(nil), orgs...),
-		policy:   policy,
-		seed:     cp.Seed,
-		now:      cp.Now,
-		nextSeq:  cp.NextSeq,
-		pending:  cp.Pending,
-		decs:     cp.Decs,
-		reported: len(cp.Decs),
-		ledger:   cp.Ledger,
+		orgs:      append([]string(nil), orgs...),
+		policy:    policy,
+		seed:      cp.Seed,
+		now:       cp.Now,
+		nextSeq:   cp.NextSeq,
+		pending:   cp.Pending,
+		decs:      cp.Decs,
+		reported:  len(cp.Decs),
+		ledger:    cp.Ledger,
+		staleness: cp.Staleness,
+	}
+	if len(cp.ExSums) > 0 {
+		if len(cp.ExSums) != len(specs) {
+			return nil, fmt.Errorf("fed: restore: exchange snapshot has %d summaries for %d clusters",
+				len(cp.ExSums), len(specs))
+		}
+		// The routed-work matrix is captured only for ledger-aware
+		// policies; the policy name match above guarantees the restoring
+		// policy reads exactly what the capturing one did.
+		_, ledgerAware := policy.(LedgerPolicy)
+		if ledgerAware || len(cp.ExRouted) > 0 {
+			if len(cp.ExRouted) != len(specs) {
+				return nil, fmt.Errorf("fed: restore: exchange routed-work is %d×? for %d clusters",
+					len(cp.ExRouted), len(specs))
+			}
+			for c := range cp.ExRouted {
+				if len(cp.ExRouted[c]) != len(specs) {
+					return nil, fmt.Errorf("fed: restore: exchange routed-work row %d truncated", c)
+				}
+			}
+		}
+		f.exValid = true
+		f.exAt = cp.ExAt
+		f.exSums = cp.ExSums
+		f.exRouted = cp.ExRouted
 	}
 	for i, spec := range specs {
 		mc := cp.Members[i]

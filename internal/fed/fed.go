@@ -99,6 +99,18 @@ type Federation struct {
 	decs     []Decision
 	reported int
 	ledger   *Ledger
+
+	// Summary gossip staleness: with staleness 0 (the default, the
+	// idealized lockstep model) the exchange snapshot — member summaries
+	// plus the routed-work matrix — is taken fresh at every release
+	// instant; with staleness Δt > 0 the cached snapshot is reused until
+	// it is at least Δt old, modeling periodic gossip. The cache is part
+	// of the deterministic state and rides in checkpoints.
+	staleness model.Time
+	exValid   bool
+	exAt      model.Time
+	exSums    []Summary
+	exRouted  [][]int64
 }
 
 // New builds a federation over the given organization universe. Each
@@ -175,6 +187,28 @@ func (f *Federation) Members() []*Member { return f.members }
 
 // Policy returns the delegation policy.
 func (f *Federation) Policy() Policy { return f.policy }
+
+// Staleness returns the summary-gossip staleness Δt (0 = fresh
+// summaries at every release instant).
+func (f *Federation) Staleness() model.Time { return f.staleness }
+
+// SetStaleness configures the summary-gossip staleness Δt: member
+// summaries (and the exchanged routed-work matrix) refresh only when
+// the cached snapshot is at least Δt old, instead of at every release
+// instant. Δt ≤ 0 restores the idealized always-fresh exchange.
+// Configure it before stepping; changing it mid-run invalidates the
+// cached snapshot.
+func (f *Federation) SetStaleness(dt model.Time) {
+	if dt < 0 {
+		dt = 0
+	}
+	if dt != f.staleness {
+		f.staleness = dt
+		f.exValid = false
+		f.exSums = nil
+		f.exRouted = nil
+	}
+}
 
 // Now returns the federation clock: the instant of the last Step.
 func (f *Federation) Now() model.Time { return f.now }
@@ -278,9 +312,25 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 			n++
 		}
 		batch := f.pending[:n]
-		sums := f.summaries()
+		sums, routed := f.exchangeAt(t)
+		// Policies are pure functions of (org, origin, exchange), and
+		// the exchange is frozen for the whole batch, so same-instant
+		// jobs with the same owner and origin route identically — one
+		// policy evaluation covers the burst (FedREF's exact Shapley
+		// pass is the expensive case this saves).
+		var memo map[[2]int]int
+		if n > 1 {
+			memo = make(map[[2]int]int, n)
+		}
 		for _, p := range batch {
-			target := f.policy.Route(p.Org, p.Cluster, sums)
+			key := [2]int{p.Org, p.Cluster}
+			target, seen := memo[key]
+			if !seen {
+				target = f.route(p, sums, routed)
+				if memo != nil {
+					memo[key] = target
+				}
+			}
 			if target < 0 || target >= len(f.members) {
 				return nil, fmt.Errorf("fed: policy %q routed job %d to unknown cluster %d",
 					f.policy.Name(), p.Seq, target)
@@ -343,6 +393,53 @@ func (f *Federation) advanceMembers(t model.Time) error {
 
 // Decisions returns the full federated decision log so far.
 func (f *Federation) Decisions() []Decision { return f.decs }
+
+// route asks the policy for one job's executing cluster, through the
+// ledger-aware entry point when the policy reads federation-level
+// accounting (FedREF) and the plain one otherwise.
+func (f *Federation) route(p Pending, sums []Summary, routed [][]int64) int {
+	if lp, ok := f.policy.(LedgerPolicy); ok {
+		return lp.RouteLedger(p.Org, p.Cluster, sums, routed)
+	}
+	return f.policy.Route(p.Org, p.Cluster, sums)
+}
+
+// exchangeAt returns the exchange snapshot the policy routes on at
+// instant t: fresh at every call when staleness is 0, otherwise the
+// cached snapshot, refreshed once it is at least Δt old. The snapshot
+// is taken before the instant's batch is routed, so every job in a
+// batch routes on the same view. The routed-work matrix is copied only
+// for ledger-aware policies — everyone else never reads it.
+func (f *Federation) exchangeAt(t model.Time) ([]Summary, [][]int64) {
+	_, ledgerAware := f.policy.(LedgerPolicy)
+	if f.staleness <= 0 {
+		var routed [][]int64
+		if ledgerAware {
+			routed = f.routedWorkCopy()
+		}
+		return f.summaries(), routed
+	}
+	if !f.exValid || t-f.exAt >= f.staleness {
+		f.exSums = f.summaries()
+		f.exRouted = nil
+		if ledgerAware {
+			f.exRouted = f.routedWorkCopy()
+		}
+		f.exAt = t
+		f.exValid = true
+	}
+	return f.exSums, f.exRouted
+}
+
+// routedWorkCopy snapshots the ledger's routed-work matrix, so the
+// exchange stays frozen while routing appends to the live ledger.
+func (f *Federation) routedWorkCopy() [][]int64 {
+	out := make([][]int64, len(f.ledger.RoutedWork))
+	for i, row := range f.ledger.RoutedWork {
+		out[i] = append([]int64(nil), row...)
+	}
+	return out
+}
 
 // summaries exports every member's Summary at the current lockstep
 // instant. Engines stand exactly at the routing instant, so the
@@ -407,6 +504,21 @@ func (f *Federation) CheckConservation() error {
 	}
 	if routed != fedTotal {
 		return fmt.Errorf("fed: %d routed != %d fed", routed, fedTotal)
+	}
+	// The routed-work columns — the assigned-work accounting FedREF
+	// routes on — must equal the work actually held by each cluster.
+	for c, m := range f.members {
+		var assigned int64
+		for o := range l.RoutedWork {
+			assigned += l.RoutedWork[o][c]
+		}
+		var held int64
+		for _, j := range m.eng.Instance().Jobs {
+			held += int64(j.Size)
+		}
+		if assigned != held {
+			return fmt.Errorf("fed: cluster %d holds %d work units, ledger says %d assigned", c, held, assigned)
+		}
 	}
 	seen := make(map[int64]bool)
 	for c, m := range f.members {

@@ -97,7 +97,10 @@ func fingerprint(t testing.TB, f *fed.Federation) []byte {
 // per-cluster algorithm roster.
 func TestFederationDeterminism(t *testing.T) {
 	algs := []string{"ref", "directcontr", "fairshare"}
-	for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}} {
+	for _, policy := range []fed.Policy{
+		fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
+		fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			f1, _ := buildFederation(t, algs, policy, 11)
 			f2, _ := buildFederation(t, algs, policy, 11)
@@ -124,7 +127,7 @@ func TestFederationDeterminism(t *testing.T) {
 // engine checkpoints.
 func TestFederationCheckpointRestore(t *testing.T) {
 	algs := []string{"ref", "rand", "directcontr"}
-	for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}} {
+	for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{}} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			straight, w := buildFederation(t, algs, policy, 17)
 			if _, err := straight.Step(6000); err != nil {
@@ -228,7 +231,10 @@ func TestFederationRestoreRejectsMismatch(t *testing.T) {
 // accounting. The run is drained past every job's completion so total
 // executed work must equal total submitted work.
 func TestFederationConservation(t *testing.T) {
-	for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}} {
+	for _, policy := range []fed.Policy{
+		fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
+		fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			f, w := buildFederation(t, []string{"directcontr", "fairshare"}, policy, 29)
 			var totalWork, maxRelease model.Time

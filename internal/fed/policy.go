@@ -2,9 +2,11 @@ package fed
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"repro/internal/model"
+	"repro/internal/shapley"
 )
 
 // Summary is one member cluster's exported state at a routing instant —
@@ -13,16 +15,16 @@ import (
 // per-organization ψ and φ vectors (the fairness signals); job sizes
 // are never part of it, keeping delegation non-clairvoyant.
 type Summary struct {
-	Cluster     int
-	Now         model.Time
-	Waiting     int   // jobs fed to the cluster but not yet started
-	Capacity    int64 // total work units per time unit at this cluster
-	OrgCapacity []int64
-	Psi         []int64   // per-org ψsp earned at this cluster
-	Phi         []float64 // per-org contribution estimate; nil when the algorithm computes none
-	Value       int64     // Σ ψ — the cluster's coalition value
-	Executed    int64     // executed unit slots
-	Utilization float64
+	Cluster     int        `json:"cluster"`
+	Now         model.Time `json:"now"`
+	Waiting     int        `json:"waiting"`  // jobs fed to the cluster but not yet started
+	Capacity    int64      `json:"capacity"` // total work units per time unit at this cluster
+	OrgCapacity []int64    `json:"org_capacity"`
+	Psi         []int64    `json:"psi"`           // per-org ψsp earned at this cluster
+	Phi         []float64  `json:"phi,omitempty"` // per-org contribution estimate; nil when the algorithm computes none
+	Value       int64      `json:"value"`         // Σ ψ — the cluster's coalition value
+	Executed    int64      `json:"executed"`      // executed unit slots
+	Utilization float64    `json:"utilization"`
 }
 
 // Policy decides, at a job's release instant, which member cluster
@@ -34,6 +36,17 @@ type Summary struct {
 type Policy interface {
 	Name() string
 	Route(org, origin int, sums []Summary) int
+}
+
+// LedgerPolicy is a Policy that additionally reads the exchanged
+// federation-level accounting: the ledger's routed-work matrix
+// (routedWork[origin][target], work units) at the same exchange instant
+// as the summaries. The federation calls RouteLedger when the policy
+// implements it and falls back to Route otherwise; like Route,
+// RouteLedger must be a deterministic pure function of its arguments.
+type LedgerPolicy interface {
+	Policy
+	RouteLedger(org, origin int, sums []Summary, routedWork [][]int64) int
 }
 
 // LocalOnly never delegates: every job runs at its origin cluster.
@@ -114,6 +127,153 @@ func deficit(org int, s Summary) float64 {
 	return contr - float64(s.Psi[org])
 }
 
+// FairnessCapacity is the capacity-normalized pricing ablation of
+// FairnessAware: the φ−ψ credit is divided by the cluster's capacity
+// before comparison, so one unit of credit at a small site outweighs
+// the same credit at a large one — the large site's credit is cheap to
+// honor later, the small site's is scarce. Ties prefer the origin, then
+// the lowest index.
+type FairnessCapacity struct{}
+
+// Name implements Policy.
+func (FairnessCapacity) Name() string { return "fairness-capacity" }
+
+// Route implements Policy.
+func (FairnessCapacity) Route(org, origin int, sums []Summary) int {
+	best, bestDeficit := origin, capDeficit(org, sums[origin])
+	for i := range sums {
+		if i == origin {
+			continue
+		}
+		if d := capDeficit(org, sums[i]); d > bestDeficit {
+			best, bestDeficit = i, d
+		}
+	}
+	return best
+}
+
+// capDeficit is the per-unit-capacity contribution credit.
+func capDeficit(org int, s Summary) float64 {
+	d := deficit(org, s)
+	if s.Capacity > 0 {
+		return d / float64(s.Capacity)
+	}
+	return d
+}
+
+// DefaultDecayTau is the decay timescale FairnessDecayed uses when its
+// Tau field is zero (PolicyByName builds the policy this way).
+const DefaultDecayTau = model.Time(5000)
+
+// FairnessDecayed is the time-decayed pricing ablation of
+// FairnessAware: contribution credit is perishable. Deficits are scaled
+// by τ/(τ+t) before comparison and a delegation away from the current
+// best must improve the decayed credit by more than one work unit, so
+// early imbalances drive offloading at full strength while the same
+// absolute credit differences stop mattering once the federation has
+// run long enough — ancient credit cannot bounce late jobs around.
+type FairnessDecayed struct {
+	// Tau is the decay timescale; ≤ 0 means DefaultDecayTau.
+	Tau model.Time
+}
+
+// Name implements Policy.
+func (FairnessDecayed) Name() string { return "fairness-decay" }
+
+// Route implements Policy.
+func (p FairnessDecayed) Route(org, origin int, sums []Summary) int {
+	tau := p.Tau
+	if tau <= 0 {
+		tau = DefaultDecayTau
+	}
+	decay := float64(tau) / float64(tau+sums[origin].Now)
+	best, bestDeficit := origin, deficit(org, sums[origin])*decay
+	for i := range sums {
+		if i == origin {
+			continue
+		}
+		if d := deficit(org, sums[i]) * decay; d > bestDeficit+1 {
+			best, bestDeficit = i, d
+		}
+	}
+	return best
+}
+
+// maxExactFedPlayers bounds the member count for which FedREF runs the
+// exact O(k·2^k) Shapley evaluator; larger federations fall back to the
+// sampled estimator at a fixed permutation budget.
+const maxExactFedPlayers = 16
+
+// fedRefSampleBudget is the sampled estimator's permutation budget for
+// federations above maxExactFedPlayers members.
+const fedRefSampleBudget = 256
+
+// RefPolicy is FedREF: Algorithm REF lifted one level, from
+// organizations inside a cluster to clusters inside the federation. At
+// each routing instant it evaluates the federation-level cooperative
+// game (fed.Game — members as players, v(S,t) the completed-work
+// utility the coalition could realize alone), computes each member's
+// Shapley contribution φ_c with the generic estimators, and routes the
+// job to the member with the largest federation-level deficit
+//
+//	φ_c − assigned_c,
+//
+// where assigned_c is the work already routed to c (the routed-work
+// column sum): the member whose realized share of the federation's work
+// lags its Shapley share of the federation's value the most is the one
+// the federation owes utilization to. A saturated origin's assigned
+// work exceeds the value share its own capacity supports, so surplus
+// flows to under-assigned members exactly when pooling creates value —
+// and once every coalition could have completed everything, φ_c decays
+// to c's own demand and the rule becomes reciprocity: members that
+// exported more than they imported attract the next jobs.
+//
+// Ties prefer the origin cluster, then the lowest index; a fresh
+// federation (all zeros) therefore routes every job home, and a
+// 1-member federation reproduces single-cluster behavior exactly.
+type RefPolicy struct{}
+
+// Name implements Policy.
+func (RefPolicy) Name() string { return "fedref" }
+
+// Route implements Policy. Without the exchanged ledger there is no
+// federation game to value, so the degenerate form keeps the job home;
+// the federation always calls RouteLedger.
+func (RefPolicy) Route(_, origin int, _ []Summary) int { return origin }
+
+// RouteLedger implements LedgerPolicy.
+func (RefPolicy) RouteLedger(_, origin int, sums []Summary, routedWork [][]int64) int {
+	if len(sums) <= 1 {
+		return origin
+	}
+	g := GameFromExchange(sums, routedWork)
+	t := sums[origin].Now
+	var phi []float64
+	if len(sums) <= maxExactFedPlayers {
+		phi = shapley.ExactAt(g, t)
+	} else {
+		// Deterministic pure function of the arguments: the sample
+		// stream is derived from the exchange instant alone.
+		phi = shapley.SampleAt(g, t, fedRefSampleBudget, rand.New(rand.NewSource(int64(t))))
+	}
+	assigned := make([]int64, len(sums))
+	for o := range routedWork {
+		for c, w := range routedWork[o] {
+			assigned[c] += w
+		}
+	}
+	best, bestDeficit := origin, phi[origin]-float64(assigned[origin])
+	for c := range sums {
+		if c == origin {
+			continue
+		}
+		if d := phi[c] - float64(assigned[c]); d > bestDeficit {
+			best, bestDeficit = c, d
+		}
+	}
+	return best
+}
+
 // PolicyByName resolves a delegation policy from its wire name.
 func PolicyByName(name string) (Policy, error) {
 	switch strings.ToLower(name) {
@@ -123,7 +283,13 @@ func PolicyByName(name string) (Policy, error) {
 		return LeastLoaded{}, nil
 	case "fairness", "fairness-aware", "fair":
 		return FairnessAware{}, nil
+	case "fairness-capacity", "capacity":
+		return FairnessCapacity{}, nil
+	case "fairness-decay", "fairness-decayed", "decay":
+		return FairnessDecayed{}, nil
+	case "fedref", "ref":
+		return RefPolicy{}, nil
 	default:
-		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded or fairness)", name)
+		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded, fairness, fairness-capacity, fairness-decay or fedref)", name)
 	}
 }

@@ -70,14 +70,60 @@ func TestFairnessAwareFollowsDeficit(t *testing.T) {
 	}
 }
 
+// TestFairnessCapacityNormalizes: the capacity-normalized variant
+// prefers the site where the credit is scarce relative to capacity,
+// flipping the raw-credit choice when a big site holds slightly more
+// absolute credit.
+func TestFairnessCapacityNormalizes(t *testing.T) {
+	// Raw deficits: 12 at the 8-capacity origin, 9 at the 2-capacity
+	// peer. FairnessAware keeps the job home (12 > 9); per unit of
+	// capacity the peer's credit is denser (4.5 > 1.5), so the
+	// normalized variant delegates.
+	s := sums2(
+		fed.Summary{Psi: []int64{0, 0}, Phi: []float64{12, 0}, Capacity: 8, OrgCapacity: []int64{4, 4}},
+		fed.Summary{Psi: []int64{0, 0}, Phi: []float64{9, 0}, Capacity: 2, OrgCapacity: []int64{1, 1}},
+	)
+	if got := (fed.FairnessAware{}).Route(0, 0, s); got != 0 {
+		t.Fatalf("raw fairness delegated on larger absolute credit at home (got %d)", got)
+	}
+	if got := (fed.FairnessCapacity{}).Route(0, 0, s); got != 1 {
+		t.Fatalf("capacity-normalized fairness ignored credit density (got %d)", got)
+	}
+}
+
+// TestFairnessDecayedExpires: the decayed variant delegates on a young
+// federation's credit but not on the same absolute credit aged far past
+// the decay timescale — and never for advantages below one work unit.
+func TestFairnessDecayedExpires(t *testing.T) {
+	p := fed.FairnessDecayed{Tau: 100}
+	credit := func(now model.Time) []fed.Summary {
+		return sums2(
+			fed.Summary{Now: now, Psi: []int64{30, 0}, Phi: []float64{5, 0}, Capacity: 2, OrgCapacity: []int64{1, 1}},
+			fed.Summary{Now: now, Psi: []int64{10, 0}, Phi: []float64{50, 0}, Capacity: 2, OrgCapacity: []int64{2, 0}},
+		)
+	}
+	if got := p.Route(0, 0, credit(0)); got != 1 {
+		t.Fatalf("young credit not honored (got %d)", got)
+	}
+	if got := p.Route(0, 0, credit(100000)); got != 0 {
+		t.Fatalf("ancient credit still bounced the job (got %d)", got)
+	}
+}
+
 func TestPolicyByName(t *testing.T) {
 	for name, want := range map[string]string{
-		"local":       "local",
-		"Local-Only":  "local",
-		"leastloaded": "leastloaded",
-		"greedy":      "leastloaded",
-		"fairness":    "fairness",
-		"FAIR":        "fairness",
+		"local":             "local",
+		"Local-Only":        "local",
+		"leastloaded":       "leastloaded",
+		"greedy":            "leastloaded",
+		"fairness":          "fairness",
+		"FAIR":              "fairness",
+		"fairness-capacity": "fairness-capacity",
+		"capacity":          "fairness-capacity",
+		"fairness-decay":    "fairness-decay",
+		"decay":             "fairness-decay",
+		"fedref":            "fedref",
+		"REF":               "fedref",
 	} {
 		p, err := fed.PolicyByName(name)
 		if err != nil {

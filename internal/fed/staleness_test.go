@@ -1,0 +1,157 @@
+package fed_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fed"
+	"repro/internal/model"
+)
+
+// stalenessFederation builds a deliberately imbalanced two-cluster
+// federation (every submission at the small origin) whose routing is
+// sensitive to how fresh the exchanged summaries are.
+func stalenessFederation(t *testing.T, policy fed.Policy, staleness model.Time) *fed.Federation {
+	t.Helper()
+	specs := []fed.ClusterSpec{
+		{Name: "busy", Alg: algFactory("directcontr"), Machines: []int{1, 1}},
+		{Name: "idle", Alg: algFactory("directcontr"), Machines: []int{2, 2}},
+	}
+	f, err := fed.New([]string{"o0", "o1"}, specs, policy, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.SetStaleness(staleness)
+	for i := 0; i < 40; i++ {
+		if _, err := f.Submit(0, i%2, 6, model.Time(2*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return f
+}
+
+// TestStalenessDeterminism: a run with a staleness knob is still a pure
+// function of its configuration — reruns are byte-identical — and the
+// knob round-trips through the accessor.
+func TestStalenessDeterminism(t *testing.T) {
+	for _, policy := range []fed.Policy{fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{}} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			a := stalenessFederation(t, policy, 50)
+			if got := a.Staleness(); got != 50 {
+				t.Fatalf("staleness accessor returned %d, want 50", got)
+			}
+			b := stalenessFederation(t, policy, 50)
+			if _, err := a.Step(600); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := b.Step(600); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+				t.Fatal("two identically configured stale-gossip runs diverged")
+			}
+			if err := a.CheckConservation(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStalenessDegradesRouting: with summaries frozen for most of the
+// run, load-based routing acts on obsolete backlog information and the
+// decision log diverges from the always-fresh run — the realistic
+// federated regime the staleness knob models. Conservation holds
+// regardless: staleness degrades quality, never correctness.
+func TestStalenessDegradesRouting(t *testing.T) {
+	fresh := stalenessFederation(t, fed.LeastLoaded{}, 0)
+	stale := stalenessFederation(t, fed.LeastLoaded{}, 300)
+	if _, err := fresh.Step(600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stale.Step(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(fingerprint(t, fresh), fingerprint(t, stale)) {
+		t.Fatal("a 300-tick-stale exchange routed identically to a fresh one — the knob is inert")
+	}
+	// The always-fresh run reacts to the origin's backlog immediately;
+	// the stale run keeps routing on the cached view between refreshes,
+	// so its per-instant choices can't track the queue. Both must still
+	// place every job exactly once.
+	if fresh.Ledger().Submitted != stale.Ledger().Submitted {
+		t.Fatal("staleness changed the number of accepted jobs")
+	}
+}
+
+// TestStalenessCheckpointRestore: a snapshot taken mid-gossip-period
+// carries the cached exchange, so the resumed run routes on the same
+// stale view an uninterrupted run would — byte-identically.
+func TestStalenessCheckpointRestore(t *testing.T) {
+	for _, policy := range []fed.Policy{fed.LeastLoaded{}, fed.RefPolicy{}} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			straight := stalenessFederation(t, policy, 37)
+			if _, err := straight.Step(600); err != nil {
+				t.Fatal(err)
+			}
+
+			half := stalenessFederation(t, policy, 37)
+			if _, err := half.Step(41); err != nil { // mid-period: cache refreshed at 0, next refresh ≥ 37
+				t.Fatal(err)
+			}
+			snap, err := half.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs := []fed.ClusterSpec{
+				{Name: "busy", Alg: algFactory("directcontr"), Machines: []int{1, 1}},
+				{Name: "idle", Alg: algFactory("directcontr"), Machines: []int{2, 2}},
+			}
+			resumed, err := fed.Restore([]string{"o0", "o1"}, specs, policy, snap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resumed.Staleness(); got != 37 {
+				t.Fatalf("restored staleness %d, want 37", got)
+			}
+			if _, err := resumed.Step(600); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(fingerprint(t, resumed), fingerprint(t, straight)) {
+				t.Fatal("resumed stale-gossip federation diverged from uninterrupted run")
+			}
+		})
+	}
+}
+
+// TestFedRefOffloadsEndToEnd: FedREF on a live imbalanced federation
+// must actually delegate — the federation-level deficit sends the
+// saturated origin's surplus to the idle member — while keeping every
+// invariant.
+func TestFedRefOffloadsEndToEnd(t *testing.T) {
+	f := stalenessFederation(t, fed.RefPolicy{}, 0)
+	if _, err := f.Step(600); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	l := f.Ledger()
+	if l.Offloaded() == 0 {
+		t.Fatal("fedref never offloaded from a saturated 2-machine origin with a 4-machine idle peer")
+	}
+	lo := stalenessFederation(t, fed.LocalOnly{}, 0)
+	if _, err := lo.Step(600); err != nil {
+		t.Fatal(err)
+	}
+	if l.FederationValue() <= lo.Ledger().FederationValue() {
+		t.Fatalf("fedref value %d not above local-only %d on a saturated skewed workload",
+			l.FederationValue(), lo.Ledger().FederationValue())
+	}
+	if msg := fmt.Sprintf("%d/%d offloaded", l.Offloaded(), l.Submitted); msg == "" {
+		t.Fatal("unreachable")
+	}
+}

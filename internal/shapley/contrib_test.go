@@ -1,0 +1,165 @@
+package shapley
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// intGame is a deterministic integer-valued dynamic game for the
+// contrib-engine tests: v(c, t) = t·Σ_{u∈c} base[u] + pair bonuses for
+// every pair present — non-additive, monotone in t.
+type intGame struct {
+	base  []int64
+	bonus int64
+}
+
+func (g intGame) Players() int { return len(g.base) }
+
+func (g intGame) ValueAt(c model.Coalition, t model.Time) int64 {
+	var v int64
+	c.EachMember(func(u int) { v += int64(t) * g.base[u] })
+	s := int64(c.Size())
+	return v + g.bonus*s*(s-1)/2
+}
+
+func randomIntGame(r *rand.Rand, n int) intGame {
+	g := intGame{base: make([]int64, n), bonus: int64(r.Intn(7))}
+	for i := range g.base {
+		g.base[i] = int64(r.Intn(50))
+	}
+	return g
+}
+
+// The subset weight table must match the per-player weights the direct
+// evaluators use: Σ_s (#subsets of size s containing u)·w[c][s] telescopes
+// to the Shapley formula, so PhiInto on a full snapshot must equal Exact
+// on the frozen game.
+func TestContribPhiMatchesExact(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(4000 + seed))
+		n := 2 + r.Intn(5)
+		g := randomIntGame(r, n)
+		at := model.Time(1 + r.Intn(100))
+		ct := NewContrib(n)
+		ct.Refresh(g, at)
+		got := ct.Phi(model.Grand(n))
+		want := ExactAt(g, at)
+		for u := range want {
+			if math.Abs(got[u]-want[u]) > 1e-9 {
+				t.Fatalf("seed %d: φ[%d] = %v from Contrib, %v from ExactAt", seed, u, got[u], want[u])
+			}
+		}
+	}
+}
+
+// PhiInto on a strict subcoalition must equal Exact on the game
+// restricted to that coalition's members.
+func TestContribPhiSubcoalition(t *testing.T) {
+	r := rand.New(rand.NewSource(4100))
+	n := 5
+	g := randomIntGame(r, n)
+	at := model.Time(17)
+	ct := NewContrib(n)
+	ct.Refresh(g, at)
+	mask := model.Coalition(0b10110) // players 1, 2, 4
+	phi := make([]float64, n)
+	ct.PhiInto(mask, phi)
+	// Σ_{u∈mask} φ[u] = v(mask) (efficiency on the subgame); outsiders 0.
+	var sum float64
+	for u := 0; u < n; u++ {
+		if !mask.Has(u) && phi[u] != 0 {
+			t.Fatalf("non-member %d got φ=%v", u, phi[u])
+		}
+		sum += phi[u]
+	}
+	if want := float64(g.ValueAt(mask, at)); math.Abs(sum-want) > 1e-9 {
+		t.Fatalf("Σφ over mask = %v, v(mask) = %v", sum, want)
+	}
+}
+
+// FillSubsets must be equivalent to Refresh for the filled coalition's
+// subsets, evaluate each coalition once per instant, and re-evaluate
+// after ResetStamps.
+func TestContribFillSubsetsLazy(t *testing.T) {
+	n := 4
+	calls := map[model.Coalition]int{}
+	base := intGame{base: []int64{3, 1, 4, 1}, bonus: 5}
+	counting := countingGame{g: base, calls: calls}
+	ct := NewContrib(n)
+	grand := model.Grand(n)
+	ct.FillSubsets(counting, grand, 10)
+	ct.FillSubsets(counting, grand, 10) // same instant: all cached
+	for c, k := range calls {
+		if k != 1 {
+			t.Fatalf("coalition %v evaluated %d times at one instant", c, k)
+		}
+	}
+	for mask := model.Coalition(1); mask <= grand; mask++ {
+		if got, want := ct.Value(mask), base.ValueAt(mask, 10); got != want {
+			t.Fatalf("value[%v] = %d, want %d", mask, got, want)
+		}
+	}
+	ct.FillSubsets(counting, grand, 11) // new instant: refill
+	if got, want := ct.Value(grand), base.ValueAt(grand, 11); got != want {
+		t.Fatalf("value[grand] = %d after new instant, want %d", got, want)
+	}
+	ct.ResetStamps()
+	before := calls[grand]
+	ct.FillSubsets(counting, grand, 11)
+	if calls[grand] != before+1 {
+		t.Fatal("ResetStamps did not invalidate the fill stamps")
+	}
+}
+
+type countingGame struct {
+	g     intGame
+	calls map[model.Coalition]int
+}
+
+func (c countingGame) Players() int { return c.g.Players() }
+
+func (c countingGame) ValueAt(m model.Coalition, t model.Time) int64 {
+	c.calls[m]++
+	return c.g.ValueAt(m, t)
+}
+
+// The dynamic estimators agree with the static ones on the frozen game,
+// and SampleAt is deterministic per seed.
+func TestDynamicEstimatorsMatchStatic(t *testing.T) {
+	r := rand.New(rand.NewSource(4200))
+	g := randomIntGame(r, 6)
+	at := model.Time(42)
+	exact := ExactAt(g, at)
+	static := Exact(Frozen(g, at))
+	for u := range exact {
+		if !almostEqual(exact[u], static[u]) {
+			t.Fatalf("ExactAt and Exact∘Frozen differ at %d", u)
+		}
+	}
+	a := SampleAt(g, at, 50, stats.NewRand(7))
+	b := SampleAt(g, at, 50, stats.NewRand(7))
+	for u := range a {
+		if math.Float64bits(a[u]) != math.Float64bits(b[u]) {
+			t.Fatalf("SampleAt not deterministic per seed at %d", u)
+		}
+	}
+}
+
+// SubsetWeights agrees with the per-predecessor Weights table:
+// w[c][s] (subset form, |S|=s including u) equals Weights(c)[s-1]
+// (predecessor form, |S\{u}| = s−1).
+func TestSubsetWeightsMatchWeights(t *testing.T) {
+	for c := 1; c <= 10; c++ {
+		sub := SubsetWeights(c)[c]
+		pred := Weights(c)
+		for s := 1; s <= c; s++ {
+			if !almostEqual(sub[s], pred[s-1]) {
+				t.Fatalf("c=%d s=%d: subset weight %v, predecessor weight %v", c, s, sub[s], pred[s-1])
+			}
+		}
+	}
+}
