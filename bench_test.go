@@ -305,11 +305,14 @@ func BenchmarkAblationShapley(b *testing.B) {
 // end-to-end: the default three-cluster diurnal scenario is generated
 // once, then driven through internal/fed under each delegation policy
 // — the baselines, the pricing ablations (capacity-normalized and
-// time-decayed φ−ψ credit) and the federation-level Shapley router
-// FedREF — with two per-cluster algorithm rosters (the polynomial
-// DIRECTCONTR everywhere, and exponential REF everywhere). Reported
-// metrics: "offload%" (jobs crossing cluster boundaries) and "value"
-// (the federation-wide coalition value Σ_c v_c).
+// time-decayed φ−ψ credit), the federation-level Shapley router FedREF
+// and the re-delegating "-migrate" variants (queued jobs re-scored and
+// migrated at each gossip refresh) — with two per-cluster algorithm
+// rosters (the polynomial DIRECTCONTR everywhere, and exponential REF
+// everywhere). Reported metrics: "offload%" (jobs crossing cluster
+// boundaries, migrations re-pointed), "value" (the federation-wide
+// coalition value Σ_c v_c) and "migrations" (queued-job
+// re-delegations).
 func BenchmarkFederation(b *testing.B) {
 	scen := gen.DefaultFedScenario()
 	scen.Base = scen.Base.Scale(0.15)
@@ -326,11 +329,13 @@ func BenchmarkFederation(b *testing.B) {
 		for _, policy := range []fed.Policy{
 			fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
 			fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+			fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget},
+			fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
 		} {
 			policy := policy
 			mk := algs[algName]
 			b.Run(fmt.Sprintf("%s/%s", algName, policy.Name()), func(b *testing.B) {
-				var offload, value float64
+				var offload, value, migrations float64
 				for i := 0; i < b.N; i++ {
 					specs := make([]fed.ClusterSpec, len(w.Machines))
 					for c := range specs {
@@ -342,6 +347,10 @@ func BenchmarkFederation(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
+					// Migration is most interesting in the realistic
+					// stale-gossip regime: refreshes every 100 ticks
+					// delimit the re-delegation rounds.
+					f.SetStaleness(100)
 					for c, js := range w.Jobs {
 						if err := f.SubmitJobs(c, js); err != nil {
 							b.Fatal(err)
@@ -353,9 +362,11 @@ func BenchmarkFederation(b *testing.B) {
 					l := f.Ledger()
 					offload = 100 * l.OffloadedFraction()
 					value = float64(l.FederationValue())
+					migrations = float64(l.Migrations)
 				}
 				b.ReportMetric(offload, "offload%")
 				b.ReportMetric(value, "value")
+				b.ReportMetric(migrations, "migrations")
 			})
 		}
 	}

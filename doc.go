@@ -18,7 +18,8 @@
 //	                    dynamic-game layer (ContribGame, Contrib) the
 //	                    REF drivers and FedREF both run on
 //	internal/sim      — event-driven cluster simulator with greedy dispatch,
-//	                    online job injection and state capture/restore
+//	                    online job injection/withdrawal and state
+//	                    capture/restore
 //	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR,
 //	                    each runnable incrementally (core.Stepper)
 //	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
@@ -28,8 +29,10 @@
 //	                    clusters, pluggable delegation policies (local,
 //	                    least-loaded, fairness-aware + pricing ablations,
 //	                    federation-level Shapley routing via fed.Game and
-//	                    RefPolicy), summary-gossip staleness, federation-
-//	                    wide contribution ledger, lockstep checkpoints
+//	                    RefPolicy), summary-gossip staleness, queued-job
+//	                    migration at gossip refreshes (Migrating
+//	                    policies), federation-wide contribution ledger,
+//	                    lockstep checkpoints
 //	internal/daemon   — multi-session serving layer: many concurrent
 //	                    runs (single or federated) over HTTP on a
 //	                    sharded session table, flushed to checkpoint

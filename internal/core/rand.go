@@ -251,6 +251,30 @@ func (r *RandSched) Inject(ids []int) error {
 	return nil
 }
 
+// Withdraw implements Stepper: remove the job from the decision
+// schedule's wait queue (it must still be waiting there) and,
+// best-effort, from every sampled coalition containing the owner — a
+// sampled FCFS schedule that already started the job keeps it, since
+// the counterfactual is non-preemptive too.
+func (r *RandSched) Withdraw(id int) error {
+	if err := withdrawDecision(r.decision, r.name(), id); err != nil {
+		return err
+	}
+	org := r.inst.Jobs[id].Org
+	for _, mask := range r.masks {
+		if !mask.Has(org) {
+			continue
+		}
+		if _, err := r.clusters[mask].Withdraw(org, id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Withdrawn implements Stepper.
+func (r *RandSched) Withdrawn() int { return r.decision.WithdrawnCount() }
+
 // Capture implements Stepper: the decision cluster first, then the
 // sampled clusters in ascending mask order (the order NewRandSched
 // re-derives deterministically from the seed on restore), plus the

@@ -230,6 +230,38 @@ func (r *Ref) Inject(ids []int) error {
 	return nil
 }
 
+// Withdraw implements Stepper: remove the job from the grand
+// coalition's wait queue (it must still be waiting there — the grand
+// schedule is the decision schedule) and, best-effort, from every
+// subcoalition containing the owner. A subcoalition whose hypothetical
+// schedule already started the job keeps it: non-preemptive
+// counterfactual work stands, exactly as it would had the coalition
+// been running alone. Withdrawal moves no executed work, so cached
+// value polynomials stay exact, but a pending-release removal can push
+// a cluster's next event later — the event heap is rebuilt like Inject
+// does.
+func (r *Ref) Withdraw(id int) error {
+	if err := withdrawDecision(r.sims[r.grand], r.Name(), id); err != nil {
+		return err
+	}
+	org := r.inst.Jobs[id].Org
+	for mask := model.Coalition(1); mask < r.grand; mask++ {
+		if !mask.Has(org) {
+			continue
+		}
+		if _, err := r.sims[mask].Withdraw(org, id); err != nil {
+			return err
+		}
+	}
+	if r.driverReady {
+		r.rebuildHeap()
+	}
+	return nil
+}
+
+// Withdrawn implements Stepper.
+func (r *Ref) Withdrawn() int { return r.sims[r.grand].WithdrawnCount() }
+
 // stepScan is one iteration of the original driver: scan all 2^k−1
 // masks for the minimum event time, advance every cluster to it, and
 // re-snapshot every coalition value at each dispatch instant.

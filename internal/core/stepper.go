@@ -42,6 +42,18 @@ type Stepper interface {
 	// Inject registers jobs already appended to the instance (by ID)
 	// with every schedule the stepper maintains.
 	Inject(ids []int) error
+	// Withdraw removes a not-yet-started job from the decision
+	// schedule's wait queue (or pending releases) and, best-effort,
+	// from every hypothetical schedule the stepper maintains: a
+	// hypothetical schedule that already started the job keeps it —
+	// non-preemptive counterfactual work stands — while queued copies
+	// are removed alongside. It fails when the decision schedule no
+	// longer holds the job (started, finished, or already withdrawn).
+	// The job stays in the instance as a tombstone: IDs are positional.
+	Withdraw(id int) error
+	// Withdrawn returns the number of jobs withdrawn from the decision
+	// schedule and not re-injected since.
+	Withdrawn() int
 	// Starts returns the decision schedule's starts so far.
 	Starts() []sim.Start
 	// ResultAt builds the standard result at time t. Callers must have
@@ -198,6 +210,31 @@ func (s *policyStepper) Inject(ids []int) error {
 	}
 	return nil
 }
+
+// withdrawDecision removes job id from a decision schedule, turning
+// "nothing to remove" into an error: the decision schedule is the
+// schedule that actually executes work, so a caller withdrawing a job
+// that is not waiting there holds a stale view.
+func withdrawDecision(c *sim.Cluster, name string, id int) error {
+	inst := c.Instance()
+	if id < 0 || id >= len(inst.Jobs) {
+		return fmt.Errorf("core: %s: withdraw: job %d not in instance", name, id)
+	}
+	ok, err := c.Withdraw(inst.Jobs[id].Org, id)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("core: %s: withdraw: job %d is not queued (already started, finished or withdrawn)", name, id)
+	}
+	return nil
+}
+
+// Withdraw implements Stepper.
+func (s *policyStepper) Withdraw(id int) error { return withdrawDecision(s.c, s.name, id) }
+
+// Withdrawn implements Stepper.
+func (s *policyStepper) Withdrawn() int { return s.c.WithdrawnCount() }
 
 // Starts implements Stepper.
 func (s *policyStepper) Starts() []sim.Start { return s.c.Starts() }

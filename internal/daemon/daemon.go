@@ -73,6 +73,12 @@ type SessionConfig struct {
 	Clusters  []ClusterConfig `json:"clusters,omitempty"`
 	Policy    string          `json:"policy,omitempty"`
 	Staleness model.Time      `json:"staleness,omitempty"`
+	// MigrationBudget overrides a "-migrate" policy's per-refresh
+	// re-delegation cap: positive replaces the default, negative
+	// disables migration, zero keeps the policy's own
+	// (fed.WithMigrationBudget semantics); it is ignored for policies
+	// that never migrate.
+	MigrationBudget int `json:"migration_budget,omitempty"`
 
 	// Shared algorithm options.
 	Seed        int64  `json:"seed,omitempty"`
@@ -162,6 +168,16 @@ func (c SessionConfig) fedSpecs() ([]fed.ClusterSpec, error) {
 	return specs, nil
 }
 
+// fedPolicy resolves the configured delegation policy with the
+// migration-budget override applied.
+func (c SessionConfig) fedPolicy() (fed.Policy, error) {
+	policy, err := fed.PolicyByName(defaultStr(c.Policy, "fairness"))
+	if err != nil {
+		return nil, err
+	}
+	return fed.WithMigrationBudget(policy, c.MigrationBudget), nil
+}
+
 // Session is one live scheduling run. Exactly one of eng/fedn is set.
 type Session struct {
 	id  string
@@ -200,7 +216,7 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		policy, err := fed.PolicyByName(defaultStr(cfg.Policy, "fairness"))
+		policy, err := cfg.fedPolicy()
 		if err != nil {
 			return nil, err
 		}
@@ -363,6 +379,7 @@ type StateReply struct {
 	Value       int64          `json:"value"`
 	Utilization float64        `json:"utilization,omitempty"`
 	Offloaded   int64          `json:"offloaded,omitempty"`
+	Migrations  int64          `json:"migrations,omitempty"`
 	Clusters    []ClusterState `json:"clusters,omitempty"`
 }
 
@@ -398,9 +415,10 @@ func (s *Session) State() StateReply {
 		Jobs:      int(s.fedn.Submitted()),
 		Pending:   s.fedn.PendingCount(),
 		Decisions: len(s.fedn.Decisions()),
-		Psi:       l.FederationPsi(),
-		Value:     l.FederationValue(),
-		Offloaded: l.Offloaded(),
+		Psi:        l.FederationPsi(),
+		Value:      l.FederationValue(),
+		Offloaded:  l.Offloaded(),
+		Migrations: l.Migrations,
 	}
 	if next := s.fedn.NextEventTime(); next != sim.MaxTime {
 		reply.NextEvent = &next
@@ -476,7 +494,7 @@ func (s *Session) restoreLocked(data []byte) error {
 	if err != nil {
 		return err
 	}
-	policy, err := fed.PolicyByName(defaultStr(s.cfg.Policy, "fairness"))
+	policy, err := s.cfg.fedPolicy()
 	if err != nil {
 		return err
 	}

@@ -94,6 +94,25 @@ func (e *Engine) Feed(jobs []model.Job) ([]int, error) {
 	return ids, nil
 }
 
+// Withdraw removes a fed-but-not-yet-started job from the run: the job
+// leaves the decision schedule's wait queue (or pending releases) and
+// will never start here, but stays in the instance as a tombstone —
+// job IDs are positional and already-handed-out IDs must keep meaning.
+// It fails when the job already started (scheduling is non-preemptive),
+// finished, or was already withdrawn. Withdrawal is part of the
+// deterministic state: snapshots taken after a withdraw restore
+// byte-identically, and internal/fed uses it to migrate queued jobs
+// between federation members.
+func (e *Engine) Withdraw(id int) error {
+	if id < 0 || id >= len(e.s.Instance().Jobs) {
+		return fmt.Errorf("engine: withdraw: job %d not in instance", id)
+	}
+	return e.s.Withdraw(id)
+}
+
+// Withdrawn returns the number of withdrawn (and not re-injected) jobs.
+func (e *Engine) Withdrawn() int { return e.s.Withdrawn() }
+
 // Step advances the run to exactly `until`: every release, completion
 // and dispatch at or before that instant is processed, and every
 // schedule's clock lands on it. It returns the scheduling decisions
@@ -132,8 +151,11 @@ func (e *Engine) Decisions() []sim.Start { return e.s.Starts() }
 // Waiting returns the number of fed jobs not yet started — the queue
 // backlog load signal peers see (under the feed-at-release discipline
 // of internal/fed every fed job is already released, so this is exactly
-// the waiting-queue length).
-func (e *Engine) Waiting() int { return len(e.s.Instance().Jobs) - len(e.s.Starts()) }
+// the waiting-queue length). Withdrawn jobs will never start and do not
+// count.
+func (e *Engine) Waiting() int {
+	return len(e.s.Instance().Jobs) - len(e.s.Starts()) - e.s.Withdrawn()
+}
 
 // Result evaluates utilities, contributions and the schedule at the
 // current engine clock.

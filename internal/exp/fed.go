@@ -41,6 +41,10 @@ type FedConfig struct {
 	// Staleness is the summary-gossip staleness Δt passed to every
 	// federation (0 = idealized fresh exchange).
 	Staleness model.Time
+	// MigrationBudget overrides the per-refresh re-delegation cap of
+	// "-migrate" policies (fed.WithMigrationBudget semantics: positive
+	// replaces, negative disables, zero keeps the policy default).
+	MigrationBudget int
 }
 
 // DefaultFedConfig returns the -fed experiment's base configuration:
@@ -123,6 +127,7 @@ func FedPolicyTable(cfg FedConfig, policyNames []string) (*Table, error) {
 		if policies[i], err = fed.PolicyByName(name); err != nil {
 			return nil, err
 		}
+		policies[i] = fed.WithMigrationBudget(policies[i], cfg.MigrationBudget)
 	}
 	metricsOf := []string{FedMetricOffload, FedMetricValue, FedMetricDelta}
 	// values[policy][metric][instance]

@@ -10,7 +10,9 @@ import (
 
 // CheckpointVersion identifies the serialized federation checkpoint
 // layout. Member engine snapshots carry their own core.CheckpointVersion.
-const CheckpointVersion = 1
+// Version 2 added the migration bookkeeping: per-member origin columns
+// and the ledger's Migrated/MigratedWork matrices.
+const CheckpointVersion = 2
 
 // Checkpoint is the complete serializable state of a federation: the
 // routing layer (pending queue, sequence counter, ledger counters,
@@ -41,11 +43,13 @@ type Checkpoint struct {
 }
 
 // MemberCheckpoint is one member cluster's state: identity, machine
-// grid row, the local-ID→sequence mapping, and the engine snapshot.
+// grid row, the local-ID→sequence and local-ID→origin mappings (−1 =
+// migrated-away tombstone), and the engine snapshot.
 type MemberCheckpoint struct {
 	Name     string          `json:"name"`
 	Machines []int           `json:"machines"`
 	SeqOf    []int64         `json:"seq_of,omitempty"`
+	OriginOf []int           `json:"origin_of,omitempty"`
 	Engine   json.RawMessage `json:"engine"`
 }
 
@@ -83,6 +87,7 @@ func (f *Federation) Snapshot() ([]byte, error) {
 			Name:     m.name,
 			Machines: machines,
 			SeqOf:    m.seqOf,
+			OriginOf: m.originOf,
 			Engine:   snap,
 		})
 	}
@@ -141,8 +146,7 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 		// The routed-work matrix is captured only for ledger-aware
 		// policies; the policy name match above guarantees the restoring
 		// policy reads exactly what the capturing one did.
-		_, ledgerAware := policy.(LedgerPolicy)
-		if ledgerAware || len(cp.ExRouted) > 0 {
+		if usesLedger(policy) || len(cp.ExRouted) > 0 {
 			if len(cp.ExRouted) != len(specs) {
 				return nil, fmt.Errorf("fed: restore: exchange routed-work is %d×? for %d clusters",
 					len(cp.ExRouted), len(specs))
@@ -179,11 +183,17 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 		if err != nil {
 			return nil, fmt.Errorf("fed: restore cluster %d (%s): %w", i, spec.Name, err)
 		}
-		if got := len(eng.Instance().Jobs); len(mc.SeqOf) != got {
-			return nil, fmt.Errorf("fed: restore: cluster %d (%s) has %d sequence mappings for %d jobs",
-				i, spec.Name, len(mc.SeqOf), got)
+		if got := len(eng.Instance().Jobs); len(mc.SeqOf) != got || len(mc.OriginOf) != got {
+			return nil, fmt.Errorf("fed: restore: cluster %d (%s) has %d/%d sequence/origin mappings for %d jobs",
+				i, spec.Name, len(mc.SeqOf), len(mc.OriginOf), got)
 		}
-		f.members = append(f.members, &Member{name: mc.Name, eng: eng, seqOf: mc.SeqOf})
+		for id, origin := range mc.OriginOf {
+			if origin >= len(specs) || (origin < 0 && mc.SeqOf[id] >= 0) || (origin >= 0 && mc.SeqOf[id] < 0) {
+				return nil, fmt.Errorf("fed: restore: cluster %d (%s) job %d has inconsistent origin %d for sequence %d",
+					i, spec.Name, id, origin, mc.SeqOf[id])
+			}
+		}
+		f.members = append(f.members, &Member{name: mc.Name, eng: eng, seqOf: mc.SeqOf, originOf: mc.OriginOf})
 	}
 	return f, nil
 }

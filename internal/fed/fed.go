@@ -14,9 +14,13 @@
 // the site where the owning organization hands them in — and at each
 // release instant a pluggable delegation Policy inspects the current
 // per-cluster Summaries (queue backlog, capacity, exchanged ψ/φ
-// vectors) and picks the cluster that executes the job. Once placed, a
-// job never migrates (engines are non-preemptive); delegation is a
-// routing decision, exactly once per job.
+// vectors) and picks the cluster that executes the job. A job that has
+// started never moves (engines are non-preemptive), but a *queued* job
+// can: under a MigratingPolicy, each staleness-delimited exchange
+// refresh re-scores every still-queued job on the freshly gossiped
+// view and migrates up to a per-round budget of them to strictly
+// better members (engine-level queue withdrawal + re-feed, re-pointed
+// in the ledger).
 //
 // All member engines advance in lockstep: Federation.Step(until) moves
 // every cluster through the same sequence of release instants, so a
@@ -73,9 +77,20 @@ type ClusterSpec struct {
 
 // Member is one live member cluster.
 type Member struct {
-	name  string
-	eng   *engine.Engine
-	seqOf []int64 // cluster-local job ID -> federation sequence number
+	name     string
+	eng      *engine.Engine
+	seqOf    []int64 // cluster-local job ID -> federation sequence number; -1 = withdrawn
+	originOf []int   // cluster-local job ID -> origin (submitting) cluster; -1 = withdrawn
+}
+
+// setSeq records the federation identity of a freshly fed local job.
+func (m *Member) setSeq(id int, seq int64, origin int) {
+	for len(m.seqOf) <= id {
+		m.seqOf = append(m.seqOf, -1)
+		m.originOf = append(m.originOf, -1)
+	}
+	m.seqOf[id] = seq
+	m.originOf[id] = origin
 }
 
 // Name returns the member's configured name.
@@ -312,7 +327,15 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 			n++
 		}
 		batch := f.pending[:n]
-		sums, routed := f.exchangeAt(t)
+		sums, routed, refreshed := f.exchangeAt(t)
+		// A fresh exchange is the migration trigger: queued jobs are
+		// re-scored on the newly gossiped view before the instant's
+		// releases route on the same view.
+		if refreshed {
+			if err := f.redelegate(t, sums, routed); err != nil {
+				return nil, err
+			}
+		}
 		// Policies are pure functions of (org, origin, exchange), and
 		// the exchange is frozen for the whole batch, so same-instant
 		// jobs with the same owner and origin route identically — one
@@ -340,10 +363,7 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fed: feed cluster %d (%s): %w", target, m.name, err)
 			}
-			for len(m.seqOf) <= ids[0] {
-				m.seqOf = append(m.seqOf, -1)
-			}
-			m.seqOf[ids[0]] = p.Seq
+			m.setSeq(ids[0], p.Seq, p.Cluster)
 			f.ledger.route(p, target)
 		}
 		f.pending = append(f.pending[:0], f.pending[n:]...)
@@ -409,16 +429,20 @@ func (f *Federation) route(p Pending, sums []Summary, routed [][]int64) int {
 // cached snapshot, refreshed once it is at least Δt old. The snapshot
 // is taken before the instant's batch is routed, so every job in a
 // batch routes on the same view. The routed-work matrix is copied only
-// for ledger-aware policies — everyone else never reads it.
-func (f *Federation) exchangeAt(t model.Time) ([]Summary, [][]int64) {
-	_, ledgerAware := f.policy.(LedgerPolicy)
+// for ledger-aware policies — everyone else never reads it. The third
+// result reports whether this call took a fresh snapshot — the
+// staleness-delimited "gossip arrived" edge the migration pass fires
+// on (with staleness 0 every routing instant is such an edge).
+func (f *Federation) exchangeAt(t model.Time) ([]Summary, [][]int64, bool) {
+	ledgerAware := usesLedger(f.policy)
 	if f.staleness <= 0 {
 		var routed [][]int64
 		if ledgerAware {
 			routed = f.routedWorkCopy()
 		}
-		return f.summaries(), routed
+		return f.summaries(), routed, true
 	}
+	refreshed := false
 	if !f.exValid || t-f.exAt >= f.staleness {
 		f.exSums = f.summaries()
 		f.exRouted = nil
@@ -427,8 +451,92 @@ func (f *Federation) exchangeAt(t model.Time) ([]Summary, [][]int64) {
 		}
 		f.exAt = t
 		f.exValid = true
+		refreshed = true
 	}
-	return f.exSums, f.exRouted
+	return f.exSums, f.exRouted, refreshed
+}
+
+// redelegate is the migration pass: fired at each exchange refresh, it
+// re-scores every still-queued routed job under the delegation policy
+// — the job's current holder playing the origin role, so the policies'
+// origin-preferring tie-breaks make "stay" the default — and migrates
+// it when the policy now picks a different (strictly better) member:
+// the queued job is withdrawn from its holder's engine, re-fed to the
+// new member at the current instant, and re-pointed in the ledger. At
+// most budget jobs move per refresh, in deterministic (member, local
+// job ID) order.
+//
+// The whole pass scores against the one frozen exchange snapshot —
+// migrations do not update the view mid-round, exactly as routing a
+// same-instant batch doesn't. The budget is what bounds the herd a
+// stale view could otherwise stampede.
+func (f *Federation) redelegate(t model.Time, sums []Summary, routed [][]int64) error {
+	mp, ok := f.policy.(MigratingPolicy)
+	if !ok {
+		return nil
+	}
+	budget := mp.MigrationBudget()
+	if budget <= 0 || len(f.members) <= 1 {
+		return nil
+	}
+	// Snapshot the queued candidates before moving anything: a job
+	// migrated this round must not be re-scored at its new home within
+	// the same round.
+	type candidate struct{ cluster, id int }
+	var cands []candidate
+	for c, m := range f.members {
+		jobs := m.eng.Instance().Jobs
+		started := make([]bool, len(jobs))
+		for _, s := range m.eng.Decisions() {
+			started[s.Job] = true
+		}
+		for id, seq := range m.seqOf {
+			if seq >= 0 && !started[id] {
+				cands = append(cands, candidate{c, id})
+			}
+		}
+	}
+	moved := 0
+	// The exchange is frozen for the whole pass, so scoring is a pure
+	// function of (org, holder) — one policy evaluation covers every
+	// queued job of the same owner at the same cluster (FedREF's exact
+	// Shapley pass is the expensive case this saves, exactly as the
+	// batch-routing memo below).
+	memo := make(map[[2]int]int)
+	for _, cand := range cands {
+		if moved >= budget {
+			break
+		}
+		m := f.members[cand.cluster]
+		job := m.eng.Instance().Jobs[cand.id]
+		key := [2]int{job.Org, cand.cluster}
+		target, seen := memo[key]
+		if !seen {
+			target = f.route(Pending{Org: job.Org, Cluster: cand.cluster}, sums, routed)
+			memo[key] = target
+		}
+		if target == cand.cluster {
+			continue
+		}
+		if target < 0 || target >= len(f.members) {
+			return fmt.Errorf("fed: policy %q migrated a job of organization %d to unknown cluster %d",
+				f.policy.Name(), job.Org, target)
+		}
+		if err := m.eng.Withdraw(cand.id); err != nil {
+			return fmt.Errorf("fed: withdraw from cluster %d (%s): %w", cand.cluster, m.name, err)
+		}
+		seq, origin := m.seqOf[cand.id], m.originOf[cand.id]
+		m.seqOf[cand.id], m.originOf[cand.id] = -1, -1
+		tm := f.members[target]
+		ids, err := tm.eng.Feed([]model.Job{{Org: job.Org, Size: job.Size, Release: t}})
+		if err != nil {
+			return fmt.Errorf("fed: migrate to cluster %d (%s): %w", target, tm.name, err)
+		}
+		tm.setSeq(ids[0], seq, origin)
+		f.ledger.migrate(origin, cand.cluster, target, int64(job.Size))
+		moved++
+	}
+	return nil
 }
 
 // routedWorkCopy snapshots the ledger's routed-work matrix, so the
@@ -479,18 +587,20 @@ func (f *Federation) Ledger() *Ledger {
 }
 
 // CheckConservation verifies the federation's bookkeeping invariants:
-// every accepted job is either still pending or was fed to exactly one
-// cluster, routing counts match fed counts, sequence numbers map
-// one-to-one, and the ledger's federation-wide totals equal the sums of
-// the members' own accounting. It is the executable statement of "no
-// job is lost or duplicated under delegation".
+// every accepted job is either still pending or held by exactly one
+// cluster (a migrated job leaves only a tombstone behind), routing
+// counts match fed counts net of migrations, sequence numbers map
+// one-to-one across live jobs, and the ledger's federation-wide totals
+// equal the sums of the members' own accounting. It is the executable
+// statement of "no job is lost or duplicated under delegation or
+// migration".
 func (f *Federation) CheckConservation() error {
 	l := f.Ledger()
 	var fedTotal int64
-	for c := range l.Fed {
+	for c, m := range f.members {
 		fedTotal += l.Fed[c]
-		if got := int64(len(f.members[c].eng.Instance().Jobs)); got != l.Fed[c] {
-			return fmt.Errorf("fed: cluster %d holds %d jobs, ledger says %d fed", c, got, l.Fed[c])
+		if got := int64(len(m.eng.Instance().Jobs) - m.eng.Withdrawn()); got != l.Fed[c] {
+			return fmt.Errorf("fed: cluster %d holds %d live jobs, ledger says %d fed", c, got, l.Fed[c])
 		}
 	}
 	if fedTotal+int64(len(f.pending)) != l.Submitted {
@@ -505,16 +615,35 @@ func (f *Federation) CheckConservation() error {
 	if routed != fedTotal {
 		return fmt.Errorf("fed: %d routed != %d fed", routed, fedTotal)
 	}
+	var migrations int64
+	for c := range l.Migrated {
+		if l.Migrated[c][c] != 0 {
+			return fmt.Errorf("fed: cluster %d migrated %d jobs to itself", c, l.Migrated[c][c])
+		}
+		for _, n := range l.Migrated[c] {
+			if n < 0 {
+				return fmt.Errorf("fed: negative migration count")
+			}
+			migrations += n
+		}
+	}
+	if migrations != l.Migrations {
+		return fmt.Errorf("fed: migration matrix sums to %d, counter says %d", migrations, l.Migrations)
+	}
 	// The routed-work columns — the assigned-work accounting FedREF
-	// routes on — must equal the work actually held by each cluster.
+	// routes on — must equal the work actually held by each cluster
+	// (tombstoned jobs migrated away, so their work counts at their new
+	// home, not here).
 	for c, m := range f.members {
 		var assigned int64
 		for o := range l.RoutedWork {
 			assigned += l.RoutedWork[o][c]
 		}
 		var held int64
-		for _, j := range m.eng.Instance().Jobs {
-			held += int64(j.Size)
+		for id, j := range m.eng.Instance().Jobs {
+			if m.seqOf[id] >= 0 {
+				held += int64(j.Size)
+			}
 		}
 		if assigned != held {
 			return fmt.Errorf("fed: cluster %d holds %d work units, ledger says %d assigned", c, held, assigned)
@@ -522,17 +651,30 @@ func (f *Federation) CheckConservation() error {
 	}
 	seen := make(map[int64]bool)
 	for c, m := range f.members {
-		if len(m.seqOf) != len(m.eng.Instance().Jobs) {
-			return fmt.Errorf("fed: cluster %d has %d seq mappings for %d jobs", c, len(m.seqOf), len(m.eng.Instance().Jobs))
+		jobs := m.eng.Instance().Jobs
+		if len(m.seqOf) != len(jobs) || len(m.originOf) != len(jobs) {
+			return fmt.Errorf("fed: cluster %d has %d/%d seq/origin mappings for %d jobs",
+				c, len(m.seqOf), len(m.originOf), len(jobs))
 		}
-		for _, seq := range m.seqOf {
-			if seq < 0 || seq >= f.nextSeq {
+		tombstones := 0
+		for id, seq := range m.seqOf {
+			if seq < 0 {
+				tombstones++
+				continue
+			}
+			if seq >= f.nextSeq {
 				return fmt.Errorf("fed: cluster %d maps a job to invalid sequence %d", c, seq)
+			}
+			if m.originOf[id] < 0 || m.originOf[id] >= len(f.members) {
+				return fmt.Errorf("fed: cluster %d job %d has invalid origin %d", c, id, m.originOf[id])
 			}
 			if seen[seq] {
 				return fmt.Errorf("fed: job %d fed to more than one cluster", seq)
 			}
 			seen[seq] = true
+		}
+		if got := m.eng.Withdrawn(); tombstones != got {
+			return fmt.Errorf("fed: cluster %d has %d tombstones but %d withdrawn jobs", c, tombstones, got)
 		}
 	}
 	for c, m := range f.members {

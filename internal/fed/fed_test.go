@@ -100,6 +100,8 @@ func TestFederationDeterminism(t *testing.T) {
 	for _, policy := range []fed.Policy{
 		fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
 		fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+		fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget},
 	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			f1, _ := buildFederation(t, algs, policy, 11)
@@ -127,7 +129,10 @@ func TestFederationDeterminism(t *testing.T) {
 // engine checkpoints.
 func TestFederationCheckpointRestore(t *testing.T) {
 	algs := []string{"ref", "rand", "directcontr"}
-	for _, policy := range []fed.Policy{fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{}} {
+	for _, policy := range []fed.Policy{
+		fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			straight, w := buildFederation(t, algs, policy, 17)
 			if _, err := straight.Step(6000); err != nil {
@@ -234,6 +239,8 @@ func TestFederationConservation(t *testing.T) {
 	for _, policy := range []fed.Policy{
 		fed.LocalOnly{}, fed.LeastLoaded{}, fed.FairnessAware{},
 		fed.FairnessCapacity{}, fed.FairnessDecayed{}, fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+		fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget},
 	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			f, w := buildFederation(t, []string{"directcontr", "fairshare"}, policy, 29)

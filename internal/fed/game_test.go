@@ -151,6 +151,16 @@ func TestFedRefRouteLedger(t *testing.T) {
 // anchor tying the federation-level game back to the paper's
 // single-cluster algorithm.
 func TestOneMemberFedRefMatchesSingleClusterRef(t *testing.T) {
+	assertOneMemberMatchesRef(t, fed.RefPolicy{}, 0)
+}
+
+// assertOneMemberMatchesRef runs a 1-member federation under the given
+// policy/staleness and requires it to reproduce a standalone
+// single-cluster REF engine byte for byte. Shared with the migration
+// differential: with one member there is nowhere to migrate, so an
+// enabled migration pass must be inert.
+func assertOneMemberMatchesRef(t *testing.T, policy fed.Policy, staleness model.Time) {
+	t.Helper()
 	const horizon = 500
 	r := rand.New(rand.NewSource(77))
 	jobs := make([]model.Job, 60)
@@ -171,10 +181,11 @@ func TestOneMemberFedRefMatchesSingleClusterRef(t *testing.T) {
 	machines := []int{2, 1, 1}
 
 	specs := []fed.ClusterSpec{{Name: "solo", Alg: core.RefAlgorithm{}, Machines: machines}}
-	f, err := fed.New([]string{"o0", "o1", "o2"}, specs, fed.RefPolicy{}, 5)
+	f, err := fed.New([]string{"o0", "o1", "o2"}, specs, policy, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
+	f.SetStaleness(staleness)
 	if err := f.SubmitJobs(0, jobs); err != nil {
 		t.Fatal(err)
 	}
@@ -183,6 +194,9 @@ func TestOneMemberFedRefMatchesSingleClusterRef(t *testing.T) {
 	}
 	if err := f.CheckConservation(); err != nil {
 		t.Fatal(err)
+	}
+	if got := f.Ledger().Migrations; got != 0 {
+		t.Fatalf("1-member federation migrated %d jobs", got)
 	}
 
 	orgs := make([]model.Org, len(machines))

@@ -26,6 +26,16 @@ type Ledger struct {
 	RoutedWork [][]int64 `json:"routed_work"`
 	// Fed[c] counts jobs fed to cluster c (the column sums of Routed).
 	Fed []int64 `json:"fed"`
+	// Migrations counts re-delegations of queued jobs (Σ Migrated).
+	Migrations int64 `json:"migrations"`
+	// Migrated[from][to] counts queued jobs withdrawn from `from` and
+	// re-fed to `to` at an exchange refresh. Routed/RoutedWork/Fed are
+	// re-pointed at migration time (the job's origin row moves a count
+	// from the old column to the new), so they always describe current
+	// placement; Migrated records the churn those re-pointings erase.
+	Migrated [][]int64 `json:"migrated"`
+	// MigratedWork is Migrated weighted by job size (work units).
+	MigratedWork [][]int64 `json:"migrated_work"`
 	// Psi[c][o] is organization o's ψsp earned at cluster c, refreshed
 	// at the federation clock.
 	Psi [][]int64 `json:"psi"`
@@ -46,10 +56,14 @@ func newLedger(clusters, orgs int) *Ledger {
 		Value:      make([]int64, clusters),
 		Executed:   make([]int64, clusters),
 	}
+	l.Migrated = make([][]int64, clusters)
+	l.MigratedWork = make([][]int64, clusters)
 	for c := 0; c < clusters; c++ {
 		l.Routed[c] = make([]int64, clusters)
 		l.RoutedWork[c] = make([]int64, clusters)
 		l.Psi[c] = make([]int64, orgs)
+		l.Migrated[c] = make([]int64, clusters)
+		l.MigratedWork[c] = make([]int64, clusters)
 	}
 	return l
 }
@@ -68,9 +82,15 @@ func (l *Ledger) validate(clusters, orgs int) error {
 		len(l.Psi) != clusters || len(l.Value) != clusters || len(l.Executed) != clusters {
 		return fmt.Errorf("ledger columns truncated")
 	}
+	if len(l.Migrated) != clusters || len(l.MigratedWork) != clusters {
+		return fmt.Errorf("ledger migration columns truncated")
+	}
 	for c := 0; c < clusters; c++ {
 		if len(l.Routed[c]) != clusters || len(l.RoutedWork[c]) != clusters || len(l.Psi[c]) != orgs {
 			return fmt.Errorf("ledger row %d truncated", c)
+		}
+		if len(l.Migrated[c]) != clusters || len(l.MigratedWork[c]) != clusters {
+			return fmt.Errorf("ledger migration row %d truncated", c)
 		}
 	}
 	return nil
@@ -81,6 +101,22 @@ func (l *Ledger) route(p Pending, target int) {
 	l.Routed[p.Cluster][target]++
 	l.RoutedWork[p.Cluster][target] += int64(p.Size)
 	l.Fed[target]++
+}
+
+// migrate records one re-delegation: the job (submitted at origin,
+// sitting queued at from) moves to to. The placement matrices are
+// re-pointed so routed==fed and assigned-work==held-work keep holding,
+// and the churn is tallied separately in Migrated/MigratedWork.
+func (l *Ledger) migrate(origin, from, to int, size int64) {
+	l.Routed[origin][from]--
+	l.Routed[origin][to]++
+	l.RoutedWork[origin][from] -= size
+	l.RoutedWork[origin][to] += size
+	l.Fed[from]--
+	l.Fed[to]++
+	l.Migrations++
+	l.Migrated[from][to]++
+	l.MigratedWork[from][to] += size
 }
 
 // sync refreshes the accounting columns from the live member engines.

@@ -199,6 +199,73 @@ func (p FairnessDecayed) Route(org, origin int, sums []Summary) int {
 	return best
 }
 
+// DefaultMigrationBudget is the per-refresh-round migration cap
+// PolicyByName gives the "-migrate" policy variants: enough to drain a
+// mis-routed burst within a few gossip rounds, small enough that one
+// refresh cannot reshuffle a whole backlog on a single stale view.
+const DefaultMigrationBudget = 8
+
+// MigratingPolicy is a Policy that opts into the re-delegation pass:
+// at each staleness-delimited exchange refresh the federation re-scores
+// every still-queued routed job under the policy (with the job's
+// current holder as the tie-preferred origin) and migrates up to
+// MigrationBudget jobs per refresh to strictly better members.
+type MigratingPolicy interface {
+	Policy
+	// MigrationBudget returns the per-refresh migration cap; values
+	// ≤ 0 disable migration (the pass never fires).
+	MigrationBudget() int
+}
+
+// Migrating wraps any delegation policy with queued-job re-delegation.
+// Routing is delegated verbatim to Inner — with Budget 0 a Migrating
+// federation is byte-identical to the bare Inner federation — and the
+// migration pass reuses the same Route/RouteLedger scoring: a queued
+// job held at cluster c migrates exactly when the policy, asked to
+// route it with origin c on the freshly refreshed exchange, picks a
+// different cluster (every shipped policy breaks ties toward the
+// origin, so "different" means "strictly better").
+type Migrating struct {
+	Inner Policy
+	// Budget caps migrations per exchange refresh; ≤ 0 disables.
+	Budget int
+}
+
+// Name implements Policy: the inner name with a "-migrate" suffix, so
+// checkpoints of migrating and non-migrating runs never cross-restore.
+func (m Migrating) Name() string { return m.Inner.Name() + "-migrate" }
+
+// Route implements Policy.
+func (m Migrating) Route(org, origin int, sums []Summary) int {
+	return m.Inner.Route(org, origin, sums)
+}
+
+// RouteLedger implements LedgerPolicy, forwarding to the inner policy's
+// ledger-aware entry point when it has one.
+func (m Migrating) RouteLedger(org, origin int, sums []Summary, routedWork [][]int64) int {
+	if lp, ok := m.Inner.(LedgerPolicy); ok {
+		return lp.RouteLedger(org, origin, sums, routedWork)
+	}
+	return m.Inner.Route(org, origin, sums)
+}
+
+// MigrationBudget implements MigratingPolicy.
+func (m Migrating) MigrationBudget() int { return m.Budget }
+
+// usesLedger reports whether the policy actually reads the exchanged
+// routed-work matrix. Migrating implements LedgerPolicy to forward it,
+// so a plain interface assertion would make every "-migrate" wrapper
+// pay the per-exchange matrix copy (and carry ExRouted in checkpoints)
+// even when the inner policy never looks at it; unwrapping answers for
+// the policy that really routes.
+func usesLedger(p Policy) bool {
+	if m, ok := p.(Migrating); ok {
+		p = m.Inner
+	}
+	_, ok := p.(LedgerPolicy)
+	return ok
+}
+
 // maxExactFedPlayers bounds the member count for which FedREF runs the
 // exact O(k·2^k) Shapley evaluator; larger federations fall back to the
 // sampled estimator at a fixed permutation budget.
@@ -289,7 +356,27 @@ func PolicyByName(name string) (Policy, error) {
 		return FairnessDecayed{}, nil
 	case "fedref", "ref":
 		return RefPolicy{}, nil
+	case "fedref-migrate", "ref-migrate":
+		return Migrating{Inner: RefPolicy{}, Budget: DefaultMigrationBudget}, nil
+	case "fairness-migrate", "fair-migrate":
+		return Migrating{Inner: FairnessAware{}, Budget: DefaultMigrationBudget}, nil
 	default:
-		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded, fairness, fairness-capacity, fairness-decay or fedref)", name)
+		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded, fairness, fairness-capacity, fairness-decay, fedref, fedref-migrate or fairness-migrate)", name)
 	}
+}
+
+// WithMigrationBudget overrides a migrating policy's per-refresh
+// budget: positive values replace it, negative values disable
+// migration, zero keeps the policy's own. Non-migrating policies are
+// returned unchanged — the knob has nothing to turn there.
+func WithMigrationBudget(p Policy, budget int) Policy {
+	m, ok := p.(Migrating)
+	if !ok || budget == 0 {
+		return p
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	m.Budget = budget
+	return m
 }

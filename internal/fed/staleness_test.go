@@ -35,7 +35,10 @@ func stalenessFederation(t *testing.T, policy fed.Policy, staleness model.Time) 
 // function of its configuration — reruns are byte-identical — and the
 // knob round-trips through the accessor.
 func TestStalenessDeterminism(t *testing.T) {
-	for _, policy := range []fed.Policy{fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{}} {
+	for _, policy := range []fed.Policy{
+		fed.LeastLoaded{}, fed.FairnessAware{}, fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			a := stalenessFederation(t, policy, 50)
 			if got := a.Staleness(); got != 50 {
@@ -91,7 +94,11 @@ func TestStalenessDegradesRouting(t *testing.T) {
 // carries the cached exchange, so the resumed run routes on the same
 // stale view an uninterrupted run would — byte-identically.
 func TestStalenessCheckpointRestore(t *testing.T) {
-	for _, policy := range []fed.Policy{fed.LeastLoaded{}, fed.RefPolicy{}} {
+	for _, policy := range []fed.Policy{
+		fed.LeastLoaded{}, fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+		fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget},
+	} {
 		t.Run(policy.Name(), func(t *testing.T) {
 			straight := stalenessFederation(t, policy, 37)
 			if _, err := straight.Step(600); err != nil {
@@ -124,6 +131,63 @@ func TestStalenessCheckpointRestore(t *testing.T) {
 				t.Fatal("resumed stale-gossip federation diverged from uninterrupted run")
 			}
 		})
+	}
+}
+
+// TestMigrationConservationDeterminism is the property battery of the
+// re-delegation PR: for every delegation policy shape (bare baselines,
+// FedREF, and the migrating wrappers at several budgets) crossed with
+// every gossip-staleness regime, two identically configured runs must
+// stay in lockstep byte for byte, conserve executed units exactly
+// through a full drain (every submitted unit slot runs exactly once,
+// wherever migration put it), and pass every ledger invariant.
+func TestMigrationConservationDeterminism(t *testing.T) {
+	policies := []fed.Policy{
+		fed.LeastLoaded{},
+		fed.FairnessAware{},
+		fed.RefPolicy{},
+		fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget},
+		fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget},
+		fed.Migrating{Inner: fed.LeastLoaded{}, Budget: 2},
+	}
+	for _, policy := range policies {
+		for _, staleness := range []model.Time{0, 40, 250} {
+			policy, staleness := policy, staleness
+			t.Run(fmt.Sprintf("%s/staleness=%d", policy.Name(), staleness), func(t *testing.T) {
+				a := stalenessFederation(t, policy, staleness)
+				b := stalenessFederation(t, policy, staleness)
+				if _, err := a.Step(2000); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := b.Step(2000); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(fingerprint(t, a), fingerprint(t, b)) {
+					t.Fatal("two identically configured runs diverged")
+				}
+				if err := a.CheckConservation(); err != nil {
+					t.Fatal(err)
+				}
+				l := a.Ledger()
+				// Full drain of the 40×6 workload: executed-units
+				// conservation must hold to the last slot.
+				if got := l.TotalExecuted(); got != 240 {
+					t.Fatalf("executed %d unit slots, submitted 240", got)
+				}
+				seen := make(map[int64]int)
+				for _, d := range a.Decisions() {
+					seen[d.Seq]++
+				}
+				if len(seen) != 40 {
+					t.Fatalf("%d distinct jobs started, submitted 40", len(seen))
+				}
+				for seq, n := range seen {
+					if n != 1 {
+						t.Fatalf("job %d started %d times", seq, n)
+					}
+				}
+			})
+		}
 	}
 }
 

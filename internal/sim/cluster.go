@@ -67,6 +67,7 @@ type Cluster struct {
 	queues       [][]int // per-org FIFO of job IDs
 	qHead        []int
 	totalWaiting int
+	withdrawn    []int // job IDs withdrawn via Withdraw, in withdrawal order
 
 	runningPerOrg []int
 
@@ -142,11 +143,16 @@ func (c *Cluster) Now() model.Time { return c.now }
 func (c *Cluster) View() *View { return &View{c} }
 
 // NextEventTime returns the earliest future release or completion, or
-// MaxTime when neither exists.
+// MaxTime when neither exists. A pending release in the clock's past —
+// only possible for a withdrawn job re-injected after time moved on —
+// fires at the current instant: no event precedes now.
 func (c *Cluster) NextEventTime() model.Time {
 	next := MaxTime
 	if c.nextRelease < len(c.releaseOrder) {
 		next = c.inst.Jobs[c.releaseOrder[c.nextRelease]].Release
+		if next < c.now {
+			next = c.now
+		}
 	}
 	if len(c.running) > 0 && c.running[0].end < next {
 		next = c.running[0].end
@@ -219,6 +225,71 @@ func (c *Cluster) releaseUpTo(t model.Time) {
 // CanDispatch reports whether the cluster currently has both a free
 // machine and a waiting job, i.e. Dispatch would start at least one job.
 func (c *Cluster) CanDispatch() bool { return c.totalWaiting > 0 && len(c.free) > 0 }
+
+// Withdraw removes a not-yet-started job from the cluster: from the
+// organization's wait queue if it has been released, or from the
+// pending release order if it has not. The job's identity is retained
+// on a withdrawn list (checkpointed, and consulted by Inject for
+// re-injection), and no account is touched — a queued job has executed
+// nothing, so ψsp bookkeeping is unaffected by construction.
+//
+// The first result reports whether the job was removed: false with a
+// nil error means the job is not withdrawable here — it already
+// started (dispatch is non-preemptive), was already withdrawn, or its
+// organization is not a coalition member (mirroring Inject, non-member
+// jobs are ignored). Errors are reserved for malformed arguments.
+func (c *Cluster) Withdraw(org, id int) (bool, error) {
+	if id < 0 || id >= len(c.inst.Jobs) {
+		return false, fmt.Errorf("sim: withdraw: job %d not in instance", id)
+	}
+	if j := c.inst.Jobs[id]; j.Org != org {
+		return false, fmt.Errorf("sim: withdraw: job %d belongs to organization %d, not %d", id, j.Org, org)
+	}
+	if !c.coal.Has(org) {
+		return false, nil
+	}
+	q := c.queues[org]
+	for i := c.qHead[org]; i < len(q); i++ {
+		if q[i] != id {
+			continue
+		}
+		copy(q[i:], q[i+1:])
+		c.queues[org] = q[:len(q)-1]
+		c.totalWaiting--
+		c.withdrawn = append(c.withdrawn, id)
+		return true, nil
+	}
+	for i := c.nextRelease; i < len(c.releaseOrder); i++ {
+		if c.releaseOrder[i] != id {
+			continue
+		}
+		copy(c.releaseOrder[i:], c.releaseOrder[i+1:])
+		c.releaseOrder = c.releaseOrder[:len(c.releaseOrder)-1]
+		c.withdrawn = append(c.withdrawn, id)
+		return true, nil
+	}
+	return false, nil
+}
+
+// WithdrawnCount returns the number of jobs withdrawn from this
+// cluster (and not re-injected since).
+func (c *Cluster) WithdrawnCount() int { return len(c.withdrawn) }
+
+// WithdrawnJobs returns the IDs of withdrawn (and not re-injected)
+// jobs in withdrawal order. The slice is a copy.
+func (c *Cluster) WithdrawnJobs() []int { return append([]int(nil), c.withdrawn...) }
+
+// unwithdraw removes id from the withdrawn list, reporting whether it
+// was there.
+func (c *Cluster) unwithdraw(id int) bool {
+	for i, w := range c.withdrawn {
+		if w == id {
+			c.withdrawn = append(c.withdrawn[:i], c.withdrawn[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
 
 // Dispatch runs the greedy loop at the current instant: while a free
 // machine and a waiting job exist, ask the policy and start the job.

@@ -1,7 +1,9 @@
 package sim
 
 import (
+	"encoding/json"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -203,6 +205,284 @@ func TestGreedyThreeQuartersCompetitive(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
 	}
+}
+
+// drainHorizon returns a horizon by which any greedy schedule of the
+// instance has certainly completed everything.
+func drainHorizon(in *model.Instance) model.Time {
+	var total, maxRelease model.Time
+	for _, j := range in.Jobs {
+		total += j.Size
+		if j.Release > maxRelease {
+			maxRelease = j.Release
+		}
+	}
+	return maxRelease + total + 1
+}
+
+// queuedJobs lists the IDs currently waiting in any organization's
+// queue, ascending.
+func queuedJobs(c *Cluster) []int {
+	var out []int
+	for org := range c.queues {
+		out = append(out, c.queues[org][c.qHead[org]:]...)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkWithdrawInvariants validates a fully drained run that saw
+// withdrawals and re-injections. The FIFO and greediness rules of
+// checkInvariants do not survive requeueing (a re-injected job joins
+// its queue's tail, behind younger IDs, and spends its withdrawn
+// interval legitimately unserved), but the conservation core must:
+// starts respect releases, no machine overlaps, every live member job
+// runs exactly once, no withdrawn job ever runs, and the executed unit
+// slots equal exactly the live jobs' total work.
+func checkWithdrawInvariants(t *testing.T, in *model.Instance, c *Cluster, withdrawn map[int]bool) {
+	t.Helper()
+	starts := c.Starts()
+	seen := map[int]int{}
+	perMachine := map[int][]Start{}
+	for _, s := range starts {
+		if s.At < in.Jobs[s.Job].Release {
+			t.Fatalf("job %d started at %d before release %d", s.Job, s.At, in.Jobs[s.Job].Release)
+		}
+		if withdrawn[s.Job] {
+			t.Fatalf("withdrawn job %d started at %d", s.Job, s.At)
+		}
+		seen[s.Job]++
+		perMachine[s.Machine] = append(perMachine[s.Machine], s)
+	}
+	for _, ss := range perMachine {
+		for i := 1; i < len(ss); i++ {
+			prevEnd := ss[i-1].At + in.Jobs[ss[i-1].Job].Size
+			if ss[i].At < prevEnd {
+				t.Fatalf("machine %d overlap: job %d (ends %d) and job %d (starts %d)",
+					ss[i].Machine, ss[i-1].Job, prevEnd, ss[i].Job, ss[i].At)
+			}
+		}
+	}
+	var want int64
+	for _, j := range in.Jobs {
+		if !c.Coalition().Has(j.Org) || withdrawn[j.ID] {
+			continue
+		}
+		if seen[j.ID] != 1 {
+			t.Fatalf("live job %d started %d times after full drain", j.ID, seen[j.ID])
+		}
+		want += int64(j.Size)
+	}
+	if got := c.ExecutedUnits(); got != want {
+		t.Fatalf("executed %d unit slots, live jobs total %d", got, want)
+	}
+	if got := c.WithdrawnCount(); got != len(withdrawn) {
+		t.Fatalf("cluster reports %d withdrawn jobs, test tracked %d", got, len(withdrawn))
+	}
+}
+
+// TestWithdrawReinjectConservation: withdrawing queued jobs and
+// re-injecting some of them at arbitrary event times never loses,
+// duplicates or resurrects work — whatever the interleaving, the
+// drained schedule runs exactly the live jobs.
+func TestWithdrawReinjectConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstance(r, false)
+		c := New(in, in.Grand(), randPolicy(seed+1), stats.NewRand(seed+2))
+		withdrawn := map[int]bool{}
+		horizon := drainHorizon(in)
+		for step := 0; step < 300 && c.Step(horizon); step++ {
+			if q := queuedJobs(c); len(q) > 0 && r.Intn(3) == 0 {
+				id := q[r.Intn(len(q))]
+				org := in.Jobs[id].Org
+				ok, err := c.Withdraw(org, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("queued job %d not withdrawable", id)
+				}
+				if again, _ := c.Withdraw(org, id); again {
+					t.Fatalf("job %d withdrawn twice", id)
+				}
+				withdrawn[id] = true
+			}
+			if len(withdrawn) > 0 && r.Intn(4) == 0 {
+				ids := make([]int, 0, len(withdrawn))
+				for id := range withdrawn {
+					ids = append(ids, id)
+				}
+				sort.Ints(ids)
+				id := ids[r.Intn(len(ids))]
+				if err := c.Inject(id); err != nil {
+					t.Fatalf("reinject job %d: %v", id, err)
+				}
+				delete(withdrawn, id)
+			}
+		}
+		c.Run(horizon)
+		checkWithdrawInvariants(t, in, c, withdrawn)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// lowestOrgPolicy is a deterministic stateless policy (lowest waiting
+// organization wins) for restore-replay comparisons.
+func lowestOrgPolicy() Policy {
+	return &SelectFunc{
+		PolicyName: "lowest",
+		F: func(v *View, _ model.Time, _ int) int {
+			for org := 0; org < v.Orgs(); org++ {
+				if v.Waiting(org) > 0 {
+					return org
+				}
+			}
+			panic("no waiting organization")
+		},
+	}
+}
+
+// TestWithdrawCheckpointRoundTrip: a state capture taken right after a
+// withdrawal restores into a fresh cluster byte-identically (withdrawn
+// list included) and replays the identical future schedule.
+func TestWithdrawCheckpointRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		r := rand.New(rand.NewSource(3000 + seed))
+		in := randInstance(r, false)
+		a := New(in, in.Grand(), lowestOrgPolicy(), nil)
+		a.Run(in.Horizon() / 2)
+		q := queuedJobs(a)
+		if len(q) == 0 {
+			continue
+		}
+		id := q[len(q)/2]
+		if ok, err := a.Withdraw(in.Jobs[id].Org, id); err != nil || !ok {
+			t.Fatalf("seed %d: withdraw queued job %d: ok=%v err=%v", seed, id, ok, err)
+		}
+		st := a.CaptureState()
+		b := New(in, in.Grand(), lowestOrgPolicy(), nil)
+		if err := b.RestoreState(st); err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		aj, err := json.Marshal(a.CaptureState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bj, err := json.Marshal(b.CaptureState())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(aj) != string(bj) {
+			t.Fatalf("seed %d: restored capture differs:\n%s\nvs\n%s", seed, aj, bj)
+		}
+		horizon := drainHorizon(in)
+		a.Run(horizon)
+		b.Run(horizon)
+		as, bs := a.Starts(), b.Starts()
+		if len(as) != len(bs) {
+			t.Fatalf("seed %d: %d vs %d starts after restore", seed, len(as), len(bs))
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("seed %d: start %d differs: %+v vs %+v", seed, i, as[i], bs[i])
+			}
+		}
+	}
+}
+
+// TestWithdrawArgumentValidation pins the Withdraw error/no-op surface.
+func TestWithdrawArgumentValidation(t *testing.T) {
+	in := model.MustNewInstance(
+		[]model.Org{{Name: "A", Machines: 1}, {Name: "B", Machines: 1}},
+		[]model.Job{
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 0, Release: 0, Size: 3},
+			{Org: 1, Release: 5, Size: 2},
+		},
+	)
+	c := New(in, in.Grand(), lowestOrgPolicy(), nil)
+	c.Run(0) // jobs 0,1 start (two machines), job 2 queues, job 3 pending
+	if _, err := c.Withdraw(0, 99); err == nil {
+		t.Error("unknown job accepted")
+	}
+	if _, err := c.Withdraw(1, 2); err == nil {
+		t.Error("mismatched organization accepted")
+	}
+	if ok, err := c.Withdraw(0, 0); ok || err != nil {
+		t.Errorf("running job withdrawable: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.Withdraw(0, 2); !ok || err != nil {
+		t.Fatalf("queued job not withdrawable: ok=%v err=%v", ok, err)
+	}
+	if ok, err := c.Withdraw(1, 3); !ok || err != nil {
+		t.Fatalf("pending job not withdrawable: ok=%v err=%v", ok, err)
+	}
+	if got := c.WithdrawnCount(); got != 2 {
+		t.Fatalf("withdrawn count %d, want 2", got)
+	}
+	// Non-member organizations are ignored, mirroring Inject.
+	solo := New(in, model.Singleton(0), lowestOrgPolicy(), nil)
+	if ok, err := solo.Withdraw(1, 3); ok || err != nil {
+		t.Errorf("non-member withdraw: ok=%v err=%v", ok, err)
+	}
+}
+
+// FuzzWithdrawReinject drives an arbitrary byte-directed interleaving
+// of event stepping, withdrawals and re-injections, then drains and
+// checks the conservation invariants — the structured-random sibling of
+// TestWithdrawReinjectConservation for the corners a uniform RNG rarely
+// hits (withdraw storms, immediate reinjection, empty queues).
+func FuzzWithdrawReinject(f *testing.F) {
+	f.Add(int64(1), []byte{0, 4, 8, 1, 2, 5})
+	f.Add(int64(7), []byte{1, 1, 1, 2, 2, 2, 0, 0})
+	f.Add(int64(42), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		r := rand.New(rand.NewSource(seed))
+		in := randInstance(r, false)
+		c := New(in, in.Grand(), randPolicy(seed+1), stats.NewRand(seed+2))
+		withdrawn := map[int]bool{}
+		horizon := drainHorizon(in)
+		if len(ops) > 256 {
+			ops = ops[:256]
+		}
+		for _, b := range ops {
+			switch b % 3 {
+			case 0:
+				c.Step(horizon)
+			case 1:
+				q := queuedJobs(c)
+				if len(q) == 0 {
+					continue
+				}
+				id := q[int(b/3)%len(q)]
+				ok, err := c.Withdraw(in.Jobs[id].Org, id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !ok {
+					t.Fatalf("queued job %d not withdrawable", id)
+				}
+				withdrawn[id] = true
+			case 2:
+				w := c.WithdrawnJobs()
+				if len(w) == 0 {
+					continue
+				}
+				id := w[int(b/3)%len(w)]
+				if err := c.Inject(id); err != nil {
+					t.Fatalf("reinject job %d: %v", id, err)
+				}
+				delete(withdrawn, id)
+			}
+		}
+		c.Run(horizon)
+		checkWithdrawInvariants(t, in, c, withdrawn)
+	})
 }
 
 // The Figure 7 pair is exactly tight: ratio 3/4. Keep it as the extremal

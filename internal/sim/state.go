@@ -22,6 +22,14 @@ import (
 // the job had been known from the start. A release equal to the current
 // time is allowed — NextEventTime then fires at the current instant and
 // the normal event path enqueues and dispatches it.
+//
+// A withdrawn job may be re-injected: it becomes a pending release
+// again and rides the normal event path — NextEventTime clamps a
+// by-now-past release to the current instant, so the job is
+// re-enqueued (at its queue's tail, exactly where a job released "now"
+// would land) and dispatched at the next event, whichever driver runs
+// the cluster. This is the unqueue/requeue round-trip federated
+// migration is built on.
 func (c *Cluster) Inject(id int) error {
 	if id < 0 || id >= len(c.inst.Jobs) {
 		return fmt.Errorf("sim: inject: job %d not in instance", id)
@@ -30,7 +38,7 @@ func (c *Cluster) Inject(id int) error {
 	if !c.coal.Has(j.Org) {
 		return nil
 	}
-	if j.Release < c.now {
+	if !c.unwithdraw(id) && j.Release < c.now {
 		return fmt.Errorf("sim: inject: job %d released at %d, before current time %d", id, j.Release, c.now)
 	}
 	// Keep releaseOrder[nextRelease:] sorted by (Release, ID): the
@@ -80,6 +88,10 @@ type ClusterState struct {
 	OwnAcct       []utility.Account `json:"own_acct"`
 	Total         utility.Account   `json:"total"`
 	Starts        []Start           `json:"starts"`
+	// Withdrawn lists jobs removed by Withdraw (and not re-injected),
+	// in withdrawal order. Empty on clusters that never migrate, so the
+	// serialized form of migration-free runs is unchanged.
+	Withdrawn []int `json:"withdrawn,omitempty"`
 }
 
 // CaptureState snapshots the cluster's full simulation state. The
@@ -101,6 +113,7 @@ func (c *Cluster) CaptureState() ClusterState {
 		OwnAcct:       append([]utility.Account(nil), c.ownAcct...),
 		Total:         c.total,
 		Starts:        append([]Start(nil), c.starts...),
+		Withdrawn:     append([]int(nil), c.withdrawn...),
 	}
 	for org := 0; org < k; org++ {
 		st.Queues[org] = append([]int(nil), c.queues[org][c.qHead[org]:]...)
@@ -152,6 +165,14 @@ func (c *Cluster) RestoreState(st ClusterState) error {
 			return fmt.Errorf("sim: restore: running entry on unknown machine %d", r.Machine)
 		}
 	}
+	for _, id := range st.Withdrawn {
+		if id < 0 || id >= len(c.inst.Jobs) {
+			return fmt.Errorf("sim: restore: withdrawn list references unknown job %d", id)
+		}
+		if !c.coal.Has(c.inst.Jobs[id].Org) {
+			return fmt.Errorf("sim: restore: withdrawn job %d belongs to non-member organization %d", id, c.inst.Jobs[id].Org)
+		}
+	}
 	c.now = st.Now
 	c.flushedAt = st.FlushedAt
 	c.releaseOrder = append([]int(nil), st.ReleaseOrder...)
@@ -172,5 +193,6 @@ func (c *Cluster) RestoreState(st ClusterState) error {
 	copy(c.ownAcct, st.OwnAcct)
 	c.total = st.Total
 	c.starts = append([]Start(nil), st.Starts...)
+	c.withdrawn = append([]int(nil), st.Withdrawn...)
 	return nil
 }
