@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/exp"
 	"repro/internal/fed"
 	"repro/internal/gen"
@@ -369,6 +370,33 @@ func BenchmarkFederation(b *testing.B) {
 				b.ReportMetric(migrations, "migrations")
 			})
 		}
+	}
+}
+
+// BenchmarkServingTier drives the daemon's sharded async serving tier
+// at the north-star scale: the load harness holds the configured number
+// of concurrent federated sessions open in one Manager and advances all
+// of them through the pipeline (internal/daemon.RunLoad, the same
+// harness behind cmd/loadgen). Reported metrics: sustained advance
+// throughput and the p50/p95/p99 advance latency a serving client sees
+// (enqueue to result, queueing included). The 10000-session row is the
+// ISSUE 6 acceptance scale.
+func BenchmarkServingTier(b *testing.B) {
+	for _, sessions := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			var rep daemon.LoadReport
+			for i := 0; i < b.N; i++ {
+				var err error
+				rep, err = daemon.RunLoad(daemon.LoadConfig{Sessions: sessions, Clients: 64})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(rep.ThroughputPerSec, "advances/s")
+			b.ReportMetric(rep.P50Ms, "p50ms")
+			b.ReportMetric(rep.P95Ms, "p95ms")
+			b.ReportMetric(rep.P99Ms, "p99ms")
+		})
 	}
 }
 

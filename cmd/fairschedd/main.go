@@ -17,11 +17,22 @@
 //	curl -X POST localhost:8080/v1/sessions/f1/advance -d '{"until":100}'
 //	curl localhost:8080/v1/sessions/f1/state
 //
-// With -checkpoint-dir, a SIGINT/SIGTERM triggers a graceful shutdown
-// that flushes a final checkpoint envelope for every live session
-// before exit, and the next boot with the same directory resumes them
-// all. -restore preloads the default session from a raw engine
-// checkpoint (the pre-session format).
+// Persistence: with -checkpoint-dir, session state lives in a
+// crash-safe disk store (atomic temp-file + rename envelope writes).
+// A SIGINT/SIGTERM triggers a graceful shutdown that flushes a final
+// checkpoint envelope for every live session before exit, and the next
+// boot with the same directory resumes them all — corrupt envelopes
+// are quarantined as "<name>.corrupt" and reported instead of blocking
+// the boot. -flush-interval additionally flushes dirty sessions in the
+// background at that period, bounding what a hard crash can lose to
+// one interval per session. -restore preloads the default session from
+// a raw engine checkpoint (the pre-session format).
+//
+// Serving: with -pipeline-workers N, advance requests run through the
+// async serving pipeline — requests enqueue onto the session table's
+// shard stripes and N workers batch many sessions per wakeup, with
+// -pipeline-burst capping how many advances one hot session may
+// consume per pass before the rest of its stripe is served.
 //
 // See internal/daemon for the endpoint reference.
 package main
@@ -47,6 +58,9 @@ type app struct {
 	srv     *daemon.Server
 	addr    string
 	ckptDir string
+	store   daemon.CheckpointStore
+	flusher *daemon.Flusher
+	pipe    *daemon.Pipeline
 }
 
 func main() {
@@ -71,9 +85,10 @@ func main() {
 	<-done
 }
 
-// shutdown drains the HTTP server, then flushes a final checkpoint for
-// every live session (when a checkpoint directory is configured) so no
-// run state is lost on SIGINT/SIGTERM.
+// shutdown drains the HTTP server, stops the background flusher and
+// the advance pipeline, then flushes a final checkpoint for every live
+// session (when a checkpoint directory is configured) so no run state
+// is lost on SIGINT/SIGTERM.
 func (a *app) shutdown(httpSrv *http.Server, stderr io.Writer) {
 	fmt.Fprintln(stderr, "fairschedd: shutting down")
 	if httpSrv != nil {
@@ -83,14 +98,20 @@ func (a *app) shutdown(httpSrv *http.Server, stderr io.Writer) {
 			fmt.Fprintln(stderr, "fairschedd: http shutdown:", err)
 		}
 	}
-	if a.ckptDir == "" {
+	if a.flusher != nil {
+		a.flusher.Stop()
+	}
+	if a.pipe != nil {
+		a.pipe.Close()
+	}
+	if a.store == nil {
 		return
 	}
-	paths, err := a.srv.Manager().FlushAll(a.ckptDir)
+	ids, err := a.srv.Manager().FlushTo(a.store, false)
 	if err != nil {
 		fmt.Fprintln(stderr, "fairschedd: final checkpoint flush:", err)
 	}
-	fmt.Fprintf(stderr, "fairschedd: flushed %d session checkpoint(s) to %s\n", len(paths), a.ckptDir)
+	fmt.Fprintf(stderr, "fairschedd: flushed %d session checkpoint(s) to %s\n", len(ids), a.ckptDir)
 }
 
 // build constructs the daemon from command-line arguments; split from
@@ -112,6 +133,9 @@ func build(args []string, stderr io.Writer) (*app, error) {
 		driver   = fs.String("ref-driver", "heap", "REF event loop: heap or scan")
 		restore  = fs.String("restore", "", "engine checkpoint file to resume the default session from")
 		ckptDir  = fs.String("checkpoint-dir", "", "directory for session checkpoints: reloaded at boot, flushed on graceful shutdown")
+		flushInt = fs.Duration("flush-interval", 0, "background flush period for dirty sessions (0 = flush only at shutdown; needs -checkpoint-dir)")
+		pipeW    = fs.Int("pipeline-workers", 0, "async advance pipeline workers (0 = advance synchronously in the handler)")
+		pipeB    = fs.Int("pipeline-burst", 0, "per-session advances per pipeline pass before other sessions are served (0 = default)")
 		noDef    = fs.Bool("no-default-session", false, "start with an empty session table (sessions created via the API only)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -121,11 +145,23 @@ func build(args []string, stderr io.Writer) (*app, error) {
 		// The FlagSet already printed the error and usage to stderr.
 		return nil, errors.New("invalid arguments")
 	}
+	if *flushInt < 0 || *pipeW < 0 || *pipeB < 0 {
+		return nil, fmt.Errorf("-flush-interval, -pipeline-workers and -pipeline-burst must be non-negative")
+	}
+	if *flushInt > 0 && *ckptDir == "" {
+		return nil, fmt.Errorf("-flush-interval needs -checkpoint-dir")
+	}
 	mgr := daemon.NewManager()
+	var store daemon.CheckpointStore
 	if *ckptDir != "" {
-		ids, err := mgr.LoadDir(*ckptDir)
+		store = daemon.NewDirStore(*ckptDir)
+		mgr.SetStore(store)
+		ids, quarantined, err := mgr.LoadStore(store)
 		if err != nil {
 			return nil, err
+		}
+		for _, q := range quarantined {
+			fmt.Fprintf(stderr, "fairschedd: quarantined corrupt envelope %s: %v\n", q.ID, q.Err)
 		}
 		if len(ids) > 0 {
 			fmt.Fprintf(stderr, "fairschedd: restored session(s) %s from %s\n", strings.Join(ids, ", "), *ckptDir)
@@ -168,7 +204,17 @@ func build(args []string, stderr io.Writer) (*app, error) {
 		// ask for (or dropping the file under -no-default-session).
 		return nil, fmt.Errorf("-restore conflicts with an existing %q session (reloaded from -checkpoint-dir?) or -no-default-session", daemon.DefaultSession)
 	}
-	return &app{srv: daemon.NewServer(mgr), addr: *addr, ckptDir: *ckptDir}, nil
+	a := &app{srv: daemon.NewServer(mgr), addr: *addr, ckptDir: *ckptDir, store: store}
+	if *pipeW > 0 {
+		a.pipe = daemon.NewPipeline(daemon.PipelineOptions{Workers: *pipeW, Burst: *pipeB})
+		a.srv.UsePipeline(a.pipe)
+	}
+	if *flushInt > 0 {
+		a.flusher = daemon.StartFlusher(mgr, store, *flushInt, func(format string, args ...any) {
+			fmt.Fprintf(stderr, "fairschedd: "+format+"\n", args...)
+		})
+	}
+	return a, nil
 }
 
 func fail(err error) {

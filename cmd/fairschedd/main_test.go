@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/daemon"
 )
@@ -51,6 +52,20 @@ func TestBuildFlagParsing(t *testing.T) {
 	if _, ok := a.srv.Manager().Get(daemon.DefaultSession); ok {
 		t.Fatal("-no-default-session still created a default session")
 	}
+	if _, err := build([]string{"-flush-interval", "1s"}, &stderr); err == nil {
+		t.Fatal("-flush-interval without -checkpoint-dir accepted")
+	}
+	if _, err := build([]string{"-pipeline-workers", "-1"}, &stderr); err == nil {
+		t.Fatal("negative -pipeline-workers accepted")
+	}
+	a, err = build([]string{"-pipeline-workers", "2", "-pipeline-burst", "4"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.pipe == nil {
+		t.Fatal("-pipeline-workers did not start the advance pipeline")
+	}
+	a.shutdown(nil, &stderr)
 }
 
 // End-to-end daemon smoke over the legacy single-run endpoints: boot
@@ -217,5 +232,66 @@ func TestGracefulShutdownFlushesSessions(t *testing.T) {
 	}
 	if st := fr.State(); st.Now != 6 || st.Kind != daemon.KindFederation || st.Jobs != 2 {
 		t.Fatalf("federated session resumed wrong: %+v", st)
+	}
+}
+
+// TestKillAndRestartUnderPeriodicFlush: with -flush-interval the store
+// persists dirty sessions in the background, so a hard kill (no
+// graceful shutdown, no final flush) loses nothing that was flushed —
+// and a truncated envelope planted in the directory is quarantined at
+// boot instead of blocking it.
+func TestKillAndRestartUnderPeriodicFlush(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	var stderr bytes.Buffer
+	a, err := build([]string{"-alg", "directcontr", "-orgs", "2",
+		"-checkpoint-dir", dir, "-flush-interval", "2ms", "-pipeline-workers", "2"}, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(a.srv.Handler())
+	post2(t, ts, "/v1/jobs", `{"jobs":[{"org":0,"size":4},{"org":1,"size":2}]}`)
+	post2(t, ts, "/v1/advance", `{"until":10}`)
+	ts.Close()
+
+	// Wait until the envelope on disk reflects the advanced state (the
+	// flusher may legitimately have flushed a pre-advance snapshot
+	// first), then kill: stop only the goroutines (so the test does
+	// not leak them) — no graceful shutdown, no final flush.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		scratch := daemon.NewManager()
+		if ids, _, err := scratch.LoadDir(dir); err == nil && len(ids) == 1 {
+			if s, ok := scratch.Get(daemon.DefaultSession); ok && s.State().Now == 10 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("background flusher never persisted the advanced state within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	a.flusher.Stop()
+	a.pipe.Close()
+
+	// A corrupt envelope appears in the directory (a crashed foreign
+	// writer, say): the next boot must quarantine it, not die.
+	if err := os.WriteFile(filepath.Join(dir, "broken.session.json"), []byte(`{"id":"bro`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stderr.Reset()
+	b, err := build([]string{"-checkpoint-dir", dir}, &stderr)
+	if err != nil {
+		t.Fatalf("boot after kill: %v", err)
+	}
+	if !strings.Contains(stderr.String(), "quarantined corrupt envelope") {
+		t.Fatalf("boot log missing quarantine notice: %q", stderr.String())
+	}
+	def, ok := b.srv.Manager().Get(daemon.DefaultSession)
+	if !ok {
+		t.Fatal("default session lost across the kill")
+	}
+	if st := def.State(); st.Now != 10 || st.Jobs != 2 || st.Decisions != 2 {
+		t.Fatalf("session resumed at %+v, want the last flushed state", st)
 	}
 }

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/daemon"
+)
+
+// TestLoadgenSmoke runs the harness end to end on a toy budget and
+// checks the report carries the throughput and latency percentiles.
+func TestLoadgenSmoke(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-sessions", "40", "-clients", "8", "-steps", "2"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var rep daemon.LoadReport
+	if err := json.Unmarshal(stdout.Bytes(), &rep); err != nil {
+		t.Fatalf("output not a LoadReport: %v in %q", err, stdout.String())
+	}
+	if rep.Sessions != 40 || rep.Advances != 80 {
+		t.Fatalf("report counts wrong: %+v", rep)
+	}
+	if rep.ThroughputPerSec <= 0 || rep.P99Ms < rep.P50Ms {
+		t.Fatalf("report metrics implausible: %+v", rep)
+	}
+	if rep.Decisions == 0 {
+		t.Fatalf("load sessions scheduled nothing: %+v", rep)
+	}
+}
+
+func TestLoadgenBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-sessions", "0"}, &out, &out); err == nil {
+		t.Fatal("zero sessions accepted")
+	}
+	if err := run([]string{"-bogus"}, &out, &out); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -35,8 +35,11 @@
 //	                    lockstep checkpoints
 //	internal/daemon   — multi-session serving layer: many concurrent
 //	                    runs (single or federated) over HTTP on a
-//	                    sharded session table, flushed to checkpoint
-//	                    envelopes on shutdown
+//	                    sharded session table, persisted through a
+//	                    crash-safe CheckpointStore (atomic writes,
+//	                    corrupt-envelope quarantine, periodic dirty
+//	                    flusher) and served by an async batching
+//	                    advance pipeline with per-session rate limits
 //	internal/trace    — Standard Workload Format (SWF) reader/writer and
 //	                    the O(1)-memory streaming Reader
 //	internal/gen      — synthetic workload families and federated
@@ -45,7 +48,8 @@
 //	internal/exp      — Table 1/2, Figure 7/10 and federated delegation
 //	                    (policy × metric) experiment runners
 //	cmd/...           — fairsched, fairschedd (multi-session daemon),
-//	                    paperexp, tracegen, benchjson executables
+//	                    loadgen (serving-tier load harness), paperexp,
+//	                    tracegen, benchjson executables
 //	examples/...      — runnable scenarios built on the public API
 //
 // See DESIGN.md for the full system inventory and EXPERIMENTS.md for

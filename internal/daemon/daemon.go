@@ -24,13 +24,12 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
-	"path/filepath"
-	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -183,6 +182,11 @@ type Session struct {
 	id  string
 	cfg SessionConfig
 
+	// dirty is set (under mu) by every mutating call and cleared by
+	// Manager.FlushTo, so the background flusher only re-serializes
+	// sessions that changed since their last flush.
+	dirty atomic.Bool
+
 	mu   sync.Mutex
 	eng  *engine.Engine
 	fedn *fed.Federation
@@ -229,6 +233,7 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 	default:
 		return nil, fmt.Errorf("daemon: unknown session kind %q (want %q or %q)", cfg.Kind, KindSingle, KindFederation)
 	}
+	s.dirty.Store(true) // never flushed yet
 	return s, nil
 }
 
@@ -278,6 +283,7 @@ func (s *Session) Submit(jobs []JobSubmission) ([]int64, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dirty.Store(true)
 	if s.eng != nil {
 		batch := make([]model.Job, len(jobs))
 		for i, j := range jobs {
@@ -317,6 +323,7 @@ func (s *Session) Submit(jobs []JobSubmission) ([]int64, error) {
 func (s *Session) Advance(until *model.Time) (model.Time, []Decision, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dirty.Store(true)
 	if s.eng != nil {
 		var (
 			starts []sim.Start
@@ -440,10 +447,16 @@ func (s *Session) State() StateReply {
 }
 
 // Decisions returns the decision log suffix from `since` and the total
-// count.
+// count. since is clamped to [0, len(log)], so out-of-range values from
+// library callers return the full (or empty) suffix instead of
+// panicking — the HTTP handler's validation is a courtesy, not a
+// precondition.
 func (s *Session) Decisions(since int) (int, []Decision) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if since < 0 {
+		since = 0
+	}
 	if s.eng != nil {
 		all := s.eng.Decisions()
 		if since > len(all) {
@@ -474,6 +487,7 @@ func (s *Session) Checkpoint() ([]byte, error) {
 func (s *Session) Restore(data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.dirty.Store(true)
 	return s.restoreLocked(data)
 }
 
@@ -525,13 +539,14 @@ type sessionShard struct {
 type Manager struct {
 	shards [sessionShards]sessionShard
 
-	// mu guards order and nextID. Lock order: a shard's mutex may be
-	// held while taking mu (Create and Delete update the shard map and
-	// the listing atomically), never the reverse — List snapshots order
-	// under mu alone and resolves sessions afterwards.
+	// mu guards order, nextID and store. Lock order: a shard's mutex
+	// may be held while taking mu (Create and Delete update the shard
+	// map and the listing atomically), never the reverse — List
+	// snapshots order under mu alone and resolves sessions afterwards.
 	mu     sync.Mutex
 	order  []string // creation order, for stable listings
 	nextID int
+	store  CheckpointStore // optional; Delete drops envelopes through it
 }
 
 // NewManager returns an empty session manager.
@@ -543,11 +558,27 @@ func NewManager() *Manager {
 	return m
 }
 
-// shard returns the stripe owning the id.
-func (m *Manager) shard(id string) *sessionShard {
+// shardIndex hashes a session id onto its stripe. The advance pipeline
+// uses the same hash, so a worker's stripes are exactly the shards it
+// serves.
+func shardIndex(id string) uint32 {
 	h := fnv.New32a()
 	h.Write([]byte(id))
-	return &m.shards[h.Sum32()%sessionShards]
+	return h.Sum32() % sessionShards
+}
+
+// shard returns the stripe owning the id.
+func (m *Manager) shard(id string) *sessionShard {
+	return &m.shards[shardIndex(id)]
+}
+
+// SetStore attaches the checkpoint store session deletions propagate
+// to, so a deleted session's envelope does not resurrect it at the
+// next boot. Flushing still names its store explicitly (FlushTo).
+func (m *Manager) SetStore(store CheckpointStore) {
+	m.mu.Lock()
+	m.store = store
+	m.mu.Unlock()
 }
 
 // freshID reserves the next auto-assigned "s<N>" identifier. The
@@ -630,12 +661,14 @@ func (m *Manager) List() []*Session {
 }
 
 // Delete removes a session. The run is simply dropped — callers wanting
-// its final state checkpoint first.
+// its final state checkpoint first. With a store attached, the
+// session's envelope is removed too (best-effort: a stale envelope only
+// resurrects the session at the next boot, it cannot corrupt it).
 func (m *Manager) Delete(id string) bool {
 	sh := m.shard(id)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if _, ok := sh.sessions[id]; !ok {
+		sh.mu.Unlock()
 		return false
 	}
 	delete(sh.sessions, id)
@@ -646,7 +679,12 @@ func (m *Manager) Delete(id string) bool {
 			break
 		}
 	}
+	store := m.store
 	m.mu.Unlock()
+	sh.mu.Unlock()
+	if store != nil {
+		store.Delete(id)
+	}
 	return true
 }
 
@@ -660,69 +698,98 @@ type Envelope struct {
 	Snapshot json.RawMessage `json:"snapshot"`
 }
 
-// FlushAll checkpoints every live session into dir (one
-// "<id>.session.json" envelope each) and returns the written paths.
-// Used for the final flush on graceful shutdown; sessions stay live.
-func (m *Manager) FlushAll(dir string) ([]string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
-	var paths []string
+// FlushTo checkpoints live sessions into the store and returns the
+// flushed session ids. With dirtyOnly, sessions unchanged since their
+// last flush are skipped — the periodic background flush path. A
+// session whose checkpoint or write fails stays dirty and does not
+// stop the flush: every remaining session is still attempted and the
+// failures come back joined into one error.
+func (m *Manager) FlushTo(store CheckpointStore, dirtyOnly bool) ([]string, error) {
+	var flushed []string
+	var errs []error
 	for _, s := range m.List() {
+		// Claim the dirty bit before snapshotting: a mutation landing
+		// after the claim re-marks the session, so the next pass
+		// re-flushes it; a mutation before the snapshot is simply
+		// included. Either way no update is lost.
+		if dirtyOnly {
+			if !s.dirty.CompareAndSwap(true, false) {
+				continue
+			}
+		} else {
+			s.dirty.Store(false)
+		}
 		snap, err := s.Checkpoint()
 		if err != nil {
-			return paths, fmt.Errorf("daemon: flush session %q: %w", s.ID(), err)
+			s.dirty.Store(true)
+			errs = append(errs, fmt.Errorf("daemon: flush session %q: %w", s.ID(), err))
+			continue
 		}
-		env, err := json.Marshal(Envelope{ID: s.ID(), Config: s.Config(), Snapshot: snap})
-		if err != nil {
-			return paths, err
+		if err := store.Save(Envelope{ID: s.ID(), Config: s.Config(), Snapshot: snap}); err != nil {
+			s.dirty.Store(true)
+			errs = append(errs, fmt.Errorf("daemon: flush session %q: %w", s.ID(), err))
+			continue
 		}
-		path := filepath.Join(dir, s.ID()+".session.json")
-		if err := os.WriteFile(path, env, 0o644); err != nil {
-			return paths, err
-		}
-		paths = append(paths, path)
+		flushed = append(flushed, s.ID())
 	}
-	return paths, nil
+	return flushed, errors.Join(errs...)
+}
+
+// FlushAll checkpoints every live session into dir (one atomically
+// written "<id>.session.json" envelope each) and returns the written
+// paths. Used for the final flush on graceful shutdown; sessions stay
+// live. Per-session failures are aggregated, not short-circuiting —
+// every healthy session is flushed even when one is not.
+func (m *Manager) FlushAll(dir string) ([]string, error) {
+	st := NewDirStore(dir)
+	ids, err := m.FlushTo(st, false)
+	paths := make([]string, len(ids))
+	for i, id := range ids {
+		paths[i] = st.pathFor(id)
+	}
+	return paths, err
+}
+
+// LoadStore restores every envelope the store yields. Envelopes that
+// fail to recreate or restore are quarantined in the store and reported
+// alongside the ones the store itself set aside — a poisoned envelope
+// costs one session, never the whole boot. Restored sessions start
+// clean (not dirty): their disk state already matches.
+func (m *Manager) LoadStore(store CheckpointStore) ([]string, []Quarantined, error) {
+	envs, quarantined, err := store.Load()
+	if err != nil {
+		return nil, quarantined, err
+	}
+	var ids []string
+	for _, env := range envs {
+		s, err := m.Create(env.ID, env.Config)
+		if err != nil {
+			err = fmt.Errorf("daemon: recreate session %q: %w", env.ID, err)
+			if qerr := store.Quarantine(env.ID); qerr != nil {
+				err = errors.Join(err, qerr)
+			}
+			quarantined = append(quarantined, Quarantined{ID: env.ID, Err: err})
+			continue
+		}
+		if err := s.Restore(env.Snapshot); err != nil {
+			m.Delete(env.ID)
+			err = fmt.Errorf("daemon: restore session %q: %w", env.ID, err)
+			if qerr := store.Quarantine(env.ID); qerr != nil {
+				err = errors.Join(err, qerr)
+			}
+			quarantined = append(quarantined, Quarantined{ID: env.ID, Err: err})
+			continue
+		}
+		s.dirty.Store(false)
+		ids = append(ids, env.ID)
+	}
+	return ids, quarantined, nil
 }
 
 // LoadDir restores every "*.session.json" envelope in dir into the
 // manager (skipped silently when the directory does not exist) and
-// returns the restored session ids in deterministic (sorted) order.
-func (m *Manager) LoadDir(dir string) ([]string, error) {
-	entries, err := os.ReadDir(dir)
-	if os.IsNotExist(err) {
-		return nil, nil
-	}
-	if err != nil {
-		return nil, err
-	}
-	var names []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".session.json") {
-			names = append(names, e.Name())
-		}
-	}
-	sort.Strings(names)
-	var ids []string
-	for _, name := range names {
-		data, err := os.ReadFile(filepath.Join(dir, name))
-		if err != nil {
-			return ids, err
-		}
-		var env Envelope
-		if err := json.Unmarshal(data, &env); err != nil {
-			return ids, fmt.Errorf("daemon: envelope %s: %w", name, err)
-		}
-		s, err := m.Create(env.ID, env.Config)
-		if err != nil {
-			return ids, fmt.Errorf("daemon: recreate session %q: %w", env.ID, err)
-		}
-		if err := s.Restore(env.Snapshot); err != nil {
-			m.Delete(env.ID)
-			return ids, fmt.Errorf("daemon: restore session %q: %w", env.ID, err)
-		}
-		ids = append(ids, env.ID)
-	}
-	return ids, nil
+// returns the restored session ids in deterministic (sorted) order
+// plus the corrupt envelopes it quarantined along the way.
+func (m *Manager) LoadDir(dir string) ([]string, []Quarantined, error) {
+	return m.LoadStore(NewDirStore(dir))
 }

@@ -260,9 +260,12 @@ func TestFlushAllAndLoadDir(t *testing.T) {
 	}
 
 	reborn := daemon.NewManager()
-	ids, err := reborn.LoadDir(dir)
+	ids, quarantined, err := reborn.LoadDir(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(quarantined) != 0 {
+		t.Fatalf("healthy directory quarantined %v", quarantined)
 	}
 	if len(ids) != 2 {
 		t.Fatalf("reloaded %d sessions, want 2", len(ids))
@@ -287,9 +290,52 @@ func TestFlushAllAndLoadDir(t *testing.T) {
 	}
 
 	// An empty/missing directory is not an error.
-	if ids, err := daemon.NewManager().LoadDir(filepath.Join(t.TempDir(), "nope")); err != nil || len(ids) != 0 {
+	if ids, _, err := daemon.NewManager().LoadDir(filepath.Join(t.TempDir(), "nope")); err != nil || len(ids) != 0 {
 		t.Fatalf("missing dir: ids=%v err=%v", ids, err)
 	}
+}
+
+// TestDecisionsNegativeSince: Session.Decisions is a library API, so a
+// negative since must clamp to the full log instead of panicking (only
+// the HTTP handler validates the query parameter).
+func TestDecisionsNegativeSince(t *testing.T) {
+	m := daemon.NewManager()
+	for name, cfg := range map[string]daemon.SessionConfig{"single": singleCfg(), "fed": fedCfg()} {
+		s, err := m.Create(name, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit([]daemon.JobSubmission{{Org: 0, Size: 3}, {Org: 1, Size: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Advance(timePtr(20)); err != nil {
+			t.Fatal(err)
+		}
+		total, decs := s.Decisions(-5)
+		if total != 2 || len(decs) != 2 {
+			t.Fatalf("%s: Decisions(-5) = (%d, %d decisions), want the full log of 2", name, total, len(decs))
+		}
+		if total, decs := s.Decisions(99); total != 2 || len(decs) != 0 {
+			t.Fatalf("%s: Decisions(99) = (%d, %d decisions), want (2, 0)", name, total, len(decs))
+		}
+	}
+}
+
+// TestAdvanceEmptyBody: POST /advance with an empty body is the
+// documented advance-to-next-event form, equivalent to {} — not a 400.
+func TestAdvanceEmptyBody(t *testing.T) {
+	a := newAPI(t)
+	a.do("POST", "/v1/sessions", `{"id":"e",`+mustJSON(t, singleCfg())[1:], http.StatusCreated)
+	a.do("POST", "/v1/sessions/e/jobs", `{"jobs":[{"org":0,"size":3,"release":5}]}`, http.StatusOK)
+	adv := a.do("POST", "/v1/sessions/e/advance", "", http.StatusOK)
+	if adv["now"].(float64) != 5 || len(adv["decisions"].([]any)) != 1 {
+		t.Fatalf("empty-body advance: %v", adv)
+	}
+	if res := a.do("POST", "/v1/sessions/e/advance", `{}`, http.StatusOK); res["now"].(float64) != 8 {
+		t.Fatalf("{} advance after empty-body advance: %v", res)
+	}
+	// A truncated JSON document is still a client error.
+	a.do("POST", "/v1/sessions/e/advance", `{"until":`, http.StatusBadRequest)
 }
 
 func timePtr(v model.Time) *model.Time { return &v }

@@ -2,7 +2,9 @@ package daemon
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -22,7 +24,7 @@ import (
 // generalized to many sessions and to federations):
 //
 //	POST /v1/sessions/{id}/jobs        {"jobs":[{"org":0,"size":5,"cluster":1}]}
-//	POST /v1/sessions/{id}/advance     {"until":100} (or {} for the next event)
+//	POST /v1/sessions/{id}/advance     {"until":100} ({} or an empty body: next event)
 //	GET  /v1/sessions/{id}/state
 //	GET  /v1/sessions/{id}/decisions?since=N
 //	GET  /v1/sessions/{id}/checkpoint
@@ -34,7 +36,8 @@ import (
 // aliases for the session named "default", so pre-session clients and
 // scripts keep working against a daemon booted with the legacy flags.
 type Server struct {
-	mgr *Manager
+	mgr  *Manager
+	pipe *Pipeline
 }
 
 // NewServer wraps a manager for HTTP serving.
@@ -42,6 +45,13 @@ func NewServer(m *Manager) *Server { return &Server{mgr: m} }
 
 // Manager returns the underlying session manager.
 func (s *Server) Manager() *Manager { return s.mgr }
+
+// UsePipeline routes advance requests through p instead of calling
+// Session.Advance inline: requests enqueue onto the session's stripe
+// and a worker batch-processes them, so a hot session rate-limits
+// against its shard instead of monopolizing handler goroutines. Set
+// before the handler starts serving.
+func (s *Server) UsePipeline(p *Pipeline) { s.pipe = p }
 
 // DefaultSession is the id the legacy single-run endpoints alias.
 const DefaultSession = "default"
@@ -158,11 +168,23 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Ses
 	var req struct {
 		Until *model.Time `json:"until"`
 	}
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	// An empty POST body is the documented advance-to-next-event form
+	// (same as {}), so a bare io.EOF is not an error; a truncated JSON
+	// document still is (ErrUnexpectedEOF).
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	now, decs, err := sess.Advance(req.Until)
+	var (
+		now  model.Time
+		decs []Decision
+		err  error
+	)
+	if s.pipe != nil {
+		now, decs, err = s.pipe.Advance(sess, req.Until)
+	} else {
+		now, decs, err = sess.Advance(req.Until)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return

@@ -1,0 +1,347 @@
+package daemon_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+)
+
+// TestDirStoreAtomicSave: a save lands as exactly one complete
+// envelope — no temp files left behind, and the content round-trips.
+func TestDirStoreAtomicSave(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "store")
+	st := daemon.NewDirStore(dir)
+	env := daemon.Envelope{ID: "a", Config: singleCfg(), Snapshot: json.RawMessage(`{"v":1}`)}
+	if err := st.Save(env); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(env); err != nil { // overwrite in place
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "a.session.json" {
+		t.Fatalf("store directory holds %v, want exactly a.session.json", entries)
+	}
+	envs, quarantined, err := st.Load()
+	if err != nil || len(quarantined) != 0 || len(envs) != 1 {
+		t.Fatalf("load: envs=%d quarantined=%v err=%v", len(envs), quarantined, err)
+	}
+	if envs[0].ID != "a" || string(envs[0].Snapshot) != `{"v":1}` {
+		t.Fatalf("loaded envelope %+v", envs[0])
+	}
+}
+
+// TestLoadQuarantinesCorruptEnvelope is the crash-during-flush
+// simulation: a truncated envelope on disk (the artifact a bare
+// WriteFile crash leaves) no longer poisons the boot — every healthy
+// session is restored, the corrupt file is renamed aside and reported.
+func TestLoadQuarantinesCorruptEnvelope(t *testing.T) {
+	mgr := daemon.NewManager()
+	for _, id := range []string{"a-first", "m-corrupt", "z-last"} {
+		s, err := mgr.Create(id, singleCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Submit([]daemon.JobSubmission{{Org: 0, Size: 5}}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Advance(timePtr(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	if _, err := mgr.FlushAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the mid-write crash: truncate the middle envelope so
+	// every alphabetically-later session used to be lost with it, and
+	// leave a stale temp file from an interrupted atomic write.
+	corrupt := filepath.Join(dir, "m-corrupt.session.json")
+	data, err := os.ReadFile(corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(corrupt, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-z-last-123"), []byte("partial"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	reborn := daemon.NewManager()
+	ids, quarantined, err := reborn.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ids) != "[a-first z-last]" {
+		t.Fatalf("restored %v, want the two healthy sessions", ids)
+	}
+	if len(quarantined) != 1 || !strings.Contains(quarantined[0].ID, "m-corrupt") {
+		t.Fatalf("quarantined %v, want the corrupt envelope", quarantined)
+	}
+	for _, id := range []string{"a-first", "z-last"} {
+		got, ok := reborn.Get(id)
+		if !ok {
+			t.Fatalf("session %s not restored", id)
+		}
+		want, _ := mgr.Get(id)
+		if !sameState(got.State(), want.State()) {
+			t.Fatalf("session %s state drifted across the crash", id)
+		}
+	}
+	// The corrupt envelope was renamed aside, the temp file swept, so
+	// the next boot sees a clean directory.
+	if _, err := os.Stat(corrupt + ".corrupt"); err != nil {
+		t.Fatalf("corrupt envelope not renamed: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Fatalf("stale temp file %s not swept", e.Name())
+		}
+	}
+	if ids2, quarantined2, err := daemon.NewManager().LoadDir(dir); err != nil || len(ids2) != 2 || len(quarantined2) != 0 {
+		t.Fatalf("second boot: ids=%v quarantined=%v err=%v", ids2, quarantined2, err)
+	}
+}
+
+// TestLoadQuarantinesUnrestorableEnvelope: an envelope that parses but
+// cannot be rebuilt (unknown algorithm) is quarantined the same way.
+func TestLoadQuarantinesUnrestorableEnvelope(t *testing.T) {
+	dir := t.TempDir()
+	st := daemon.NewDirStore(dir)
+	bad := singleCfg()
+	bad.Alg = "no-such-algorithm"
+	if err := st.Save(daemon.Envelope{ID: "bad", Config: bad, Snapshot: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(daemon.Envelope{ID: "noid", Config: singleCfg(), Snapshot: json.RawMessage(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	// Blank the second envelope's id: restoring it would auto-assign a
+	// fresh session id, silently renaming the session.
+	path := filepath.Join(dir, "noid.session.json")
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, []byte(strings.Replace(string(data), `"id":"noid"`, `"id":""`, 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mgr := daemon.NewManager()
+	ids, quarantined, err := mgr.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 || len(quarantined) != 2 {
+		t.Fatalf("ids=%v quarantined=%v", ids, quarantined)
+	}
+	if len(mgr.List()) != 0 {
+		t.Fatal("quarantined envelopes still created sessions")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bad.session.json.corrupt")); err != nil {
+		t.Fatalf("unrestorable envelope not quarantined: %v", err)
+	}
+}
+
+// failingStore fails Save for one session id and delegates the rest.
+type failingStore struct {
+	daemon.CheckpointStore
+	failID string
+}
+
+func (f failingStore) Save(env daemon.Envelope) error {
+	if env.ID == f.failID {
+		return fmt.Errorf("injected write failure for %q", env.ID)
+	}
+	return f.CheckpointStore.Save(env)
+}
+
+// TestFlushToContinuesPastFailures: one session failing to flush no
+// longer silently skips every remaining session — all are attempted
+// and the failure is reported, with the failed session left dirty for
+// the next pass.
+func TestFlushToContinuesPastFailures(t *testing.T) {
+	mgr := daemon.NewManager()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := mgr.Create(id, singleCfg()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inner := daemon.NewDirStore(t.TempDir())
+	st := failingStore{CheckpointStore: inner, failID: "b"}
+	ids, err := mgr.FlushTo(st, false)
+	if err == nil || !strings.Contains(err.Error(), `"b"`) {
+		t.Fatalf("flush error %v, want the injected failure for b", err)
+	}
+	if fmt.Sprint(ids) != "[a c]" {
+		t.Fatalf("flushed %v, want the two healthy sessions", ids)
+	}
+	// The failed session stayed dirty: a dirty-only retry picks up
+	// exactly it.
+	ids, err = mgr.FlushTo(inner, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(ids) != "[b]" {
+		t.Fatalf("retry flushed %v, want just b", ids)
+	}
+}
+
+// TestDirtyFlushRestartByteIdentity reuses the PR 5 load-test session
+// shape for the periodic-flush contract: advance, flush dirty, keep a
+// reference of the flushed state; a clean dirty pass flushes nothing;
+// after more traffic only the touched sessions re-flush; and a manager
+// booted from the store is byte-identical to the last flushed states.
+func TestDirtyFlushRestartByteIdentity(t *testing.T) {
+	mgr := daemon.NewManager()
+	st := daemon.NewDirStore(filepath.Join(t.TempDir(), "store"))
+	const sessions = 8
+	for i := 0; i < sessions; i++ {
+		s, err := mgr.Create(fmt.Sprintf("s%d", i), loadFedCfg(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var jobs []daemon.JobSubmission
+		for j := 0; j < 12; j++ {
+			jobs = append(jobs, daemon.JobSubmission{Cluster: 0, Org: j % 2, Size: 4})
+		}
+		if _, err := s.Submit(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := s.Advance(timePtr(60)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids, err := mgr.FlushTo(st, true); err != nil || len(ids) != sessions {
+		t.Fatalf("first dirty flush: ids=%v err=%v", ids, err)
+	}
+	if ids, err := mgr.FlushTo(st, true); err != nil || len(ids) != 0 {
+		t.Fatalf("clean table still flushed %v (err=%v)", ids, err)
+	}
+	// Touch half the sessions; only they are dirty.
+	for i := 0; i < sessions; i += 2 {
+		s, _ := mgr.Get(fmt.Sprintf("s%d", i))
+		if _, _, err := s.Advance(timePtr(200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := mgr.FlushTo(st, true)
+	if err != nil || len(ids) != sessions/2 {
+		t.Fatalf("incremental flush: ids=%v err=%v", ids, err)
+	}
+	// "Kill" the process here (no final flush) and boot from the store:
+	// every session resumes exactly at its last flushed state.
+	want := map[string]daemon.StateReply{}
+	for _, s := range mgr.List() {
+		want[s.ID()] = s.State()
+	}
+	reborn := daemon.NewManager()
+	got, quarantined, err := reborn.LoadStore(st)
+	if err != nil || len(quarantined) != 0 || len(got) != sessions {
+		t.Fatalf("boot: ids=%v quarantined=%v err=%v", got, quarantined, err)
+	}
+	for id, wantState := range want {
+		s, ok := reborn.Get(id)
+		if !ok {
+			t.Fatalf("session %s lost across restart", id)
+		}
+		if !sameState(s.State(), wantState) {
+			t.Fatalf("session %s not byte-identical after restart", id)
+		}
+	}
+	// Restored sessions boot clean: nothing to flush until new traffic.
+	if ids, err := reborn.FlushTo(st, true); err != nil || len(ids) != 0 {
+		t.Fatalf("freshly booted table flushed %v (err=%v)", ids, err)
+	}
+}
+
+// TestDeletePropagatesToStore: deleting a session drops its envelope,
+// so the next boot does not resurrect it.
+func TestDeletePropagatesToStore(t *testing.T) {
+	dir := t.TempDir()
+	st := daemon.NewDirStore(dir)
+	mgr := daemon.NewManager()
+	mgr.SetStore(st)
+	if _, err := mgr.Create("keep", singleCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create("drop", singleCfg()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.FlushTo(st, false); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.Delete("drop") {
+		t.Fatal("delete failed")
+	}
+	if ids, _, err := daemon.NewManager().LoadDir(dir); err != nil || fmt.Sprint(ids) != "[keep]" {
+		t.Fatalf("boot after delete restored %v (err=%v)", ids, err)
+	}
+}
+
+// TestFlusherBackgroundFlush: the background flusher persists dirty
+// sessions without any shutdown, and Stop halts it without a final
+// write.
+func TestFlusherBackgroundFlush(t *testing.T) {
+	dir := t.TempDir()
+	st := daemon.NewDirStore(dir)
+	mgr := daemon.NewManager()
+	s, err := mgr.Create("bg", singleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit([]daemon.JobSubmission{{Org: 0, Size: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	f := daemon.StartFlusher(mgr, st, time.Millisecond, nil)
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Flushed() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("flusher wrote nothing within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	f.Stop()
+	flushedAt := f.Flushed()
+	// Post-Stop mutations stay unflushed (Stop takes no final write).
+	if _, _, err := s.Advance(timePtr(10)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if f.Flushed() != flushedAt {
+		t.Fatal("flusher kept writing after Stop")
+	}
+	if ids, _, err := daemon.NewManager().LoadDir(dir); err != nil || len(ids) != 1 {
+		t.Fatalf("background-flushed envelope unreadable: ids=%v err=%v", ids, err)
+	}
+}
+
+// TestServingTierLoadSmoke is the CI-sized run of the 10k-session load
+// harness (BenchmarkServingTier runs the full scale): small session
+// count, full pipeline, race-detector friendly.
+func TestServingTierLoadSmoke(t *testing.T) {
+	sessions := 400
+	if testing.Short() {
+		sessions = 80
+	}
+	rep, err := daemon.RunLoad(daemon.LoadConfig{Sessions: sessions, Clients: 16, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Advances != int64(2*sessions) {
+		t.Fatalf("harness ran %d advances, want %d", rep.Advances, 2*sessions)
+	}
+	if rep.Decisions == 0 || rep.ThroughputPerSec <= 0 {
+		t.Fatalf("harness did no work: %+v", rep)
+	}
+	if rep.P50Ms > rep.P95Ms || rep.P95Ms > rep.P99Ms {
+		t.Fatalf("latency percentiles out of order: %+v", rep)
+	}
+}
