@@ -24,6 +24,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fed"
 	"repro/internal/gen"
@@ -432,6 +433,136 @@ func BenchmarkSimulator(b *testing.B) {
 			b.ReportMetric(float64(starts), "jobs")
 		})
 	}
+}
+
+// hotPathInstance builds the steady-state workload of the hot-path
+// set: k organizations, each with enough machines for its own jobs, so
+// every subcoalition schedule starts everything at release and the
+// remaining event stream is pure completions — the regime the zero-
+// alloc stepping budget (internal/core's AllocsPerRun tests) covers.
+func hotPathInstance(b *testing.B, k, jobsPerOrg int) *model.Instance {
+	orgs := make([]model.Org, k)
+	for i := range orgs {
+		orgs[i] = model.Org{Name: fmt.Sprintf("org%d", i), Machines: jobsPerOrg}
+	}
+	jobs := make([]model.Job, 0, k*jobsPerOrg)
+	for o := 0; o < k; o++ {
+		for j := 0; j < jobsPerOrg; j++ {
+			jobs = append(jobs, model.Job{Org: o, Release: 0, Size: model.Time(5 + 4*j + o)})
+		}
+	}
+	inst, err := model.NewInstance(orgs, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// hotPathStep measures steady-state StepNext throughput for one
+// stepper: prime past the release-instant dispatches, then step one
+// completion event per iteration, re-priming (off the clock) when the
+// run drains. These are the benchmarks the CI regression gate
+// (cmd/benchdiff) holds to a ns/op threshold and an allocs/op ceiling
+// — steady-state stepping is zero-alloc by budget.
+func hotPathStep(b *testing.B, alg core.StepperAlgorithm, inst *model.Instance) {
+	const horizon = model.Time(1 << 30)
+	var s core.Stepper
+	prime := func() {
+		s = alg.NewStepper(inst, 1)
+		for s.StepNext(0) {
+		}
+	}
+	prime()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !s.StepNext(horizon) {
+			b.StopTimer()
+			prime()
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkHotPath is the named hot-path set of the bench-regression
+// gate: steady-state stepping for each stepper family, the incremental
+// withdraw/reinject path, and the engine's per-advance overhead.
+// Run with -benchmem; cmd/benchdiff diffs these rows across successive
+// BENCH_N.json artifacts.
+func BenchmarkHotPath(b *testing.B) {
+	b.Run("ref-step", func(b *testing.B) {
+		hotPathStep(b, core.RefAlgorithm{}, hotPathInstance(b, 4, 3))
+	})
+	b.Run("rand-step", func(b *testing.B) {
+		hotPathStep(b, core.RandAlgorithm{Samples: 15, Opts: core.RandOptions{Workers: 1}}, hotPathInstance(b, 4, 3))
+	})
+	b.Run("policy-step", func(b *testing.B) {
+		hotPathStep(b, core.FromPolicy("FCFS", func() sim.Policy { return baseline.NewFCFS() }), hotPathInstance(b, 4, 3))
+	})
+
+	// The incremental Withdraw path: one withdraw + reinject cycle of a
+	// queued job per iteration. Six organizations mean 63 subcoalition
+	// schedules, 32 of which contain the owner — each cycle re-keys
+	// those masks with in-place heap sifts (the old implementation
+	// rebuilt the whole heap from all 63 keys twice per cycle).
+	b.Run("ref-withdraw", func(b *testing.B) {
+		orgs := make([]model.Org, 6)
+		for i := range orgs {
+			orgs[i] = model.Org{Name: fmt.Sprintf("org%d", i), Machines: 1}
+		}
+		jobs := make([]model.Job, 0, 6*6)
+		for o := 0; o < 6; o++ {
+			for j := 0; j < 6; j++ {
+				jobs = append(jobs, model.Job{Org: o, Release: 0, Size: model.Time(40 + j)})
+			}
+		}
+		inst, err := model.NewInstance(orgs, jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.RefAlgorithm{}.NewStepper(inst, 1)
+		for s.StepNext(0) { // dispatch the release instant; queues stay deep
+		}
+		id := inst.Jobs[len(inst.Jobs)-1].ID // last job: queued everywhere
+		reinject := []int{id}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Withdraw(id); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Inject(reinject); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The serving tier's per-advance engine overhead: a Step to the
+	// next completion through the engine (decision-log bookkeeping and
+	// the zero-copy starts return included).
+	b.Run("engine-step", func(b *testing.B) {
+		var e *engine.Engine
+		prime := func() {
+			e = engine.New(core.RefAlgorithm{}, hotPathInstance(b, 4, 3), 1)
+			if _, err := e.Step(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prime()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, stepped, err := e.StepToNextEvent()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !stepped {
+				b.StopTimer()
+				prime()
+				b.StartTimer()
+			}
+		}
+	})
 }
 
 // BenchmarkUtilityPsi is the ψsp closed-form micro-benchmark.

@@ -1,0 +1,197 @@
+// Command benchdiff is the benchmark-regression gate: it compares two
+// benchjson artifacts (cmd/benchjson output, successive BENCH_N.json
+// files in the performance trajectory) and fails when the named
+// hot-path benchmark set regressed.
+//
+//	benchdiff BENCH_7.json BENCH_7.ci.json
+//
+// For every benchmark whose name matches one of the -hot prefixes and
+// that appears in both artifacts:
+//
+//   - allocs/op may never increase. The hot-path set is held to an
+//     allocation budget (most of it to zero), allocs/op is
+//     hardware-independent, and a single new allocation per op is
+//     exactly the class of regression this gate exists to catch.
+//   - ns/op may regress by at most -max-ns-regress (default 15%). Wall
+//     time is only comparable on identical hardware, so this check is
+//     enforced when both artifacts record the same "cpu:" header (or
+//     under -force-ns) and reported as a warning otherwise.
+//
+// Repeated measurements of the same benchmark (go test -count=N) are
+// collapsed to their best ns/op and worst allocs/op before diffing —
+// best-of-N is the standard way to cut scheduler noise out of
+// sub-microsecond benchmarks, and the worst allocation count is the
+// honest one to hold a zero budget against.
+//
+// Hot-path benchmarks present only in the new artifact are reported as
+// newly seeded; a baseline with no matching benchmarks passes (the
+// first artifact in a trajectory has nothing to diff against). Any
+// other outcome mismatch — a hot benchmark that lost its -benchmem
+// columns, or a matched regression — exits non-zero.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type record struct {
+	Name        string   `json:"name"`
+	NsPerOp     float64  `json:"ns_per_op"`
+	AllocsPerOp *float64 `json:"allocs_per_op"`
+	BytesPerOp  *float64 `json:"bytes_per_op"`
+}
+
+type report struct {
+	Format     string   `json:"format"`
+	CPU        string   `json:"cpu"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		hot     = flag.String("hot", "BenchmarkHotPath", "comma-separated name prefixes of the gated hot-path set")
+		maxNs   = flag.Float64("max-ns-regress", 0.15, "maximum tolerated relative ns/op regression (0.15 = +15%)")
+		forceNs = flag.Bool("force-ns", false, "enforce the ns/op threshold even when the artifacts' cpu headers differ")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] OLD.json NEW.json")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), flag.Arg(1), splitPrefixes(*hot), *maxNs, *forceNs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func splitPrefixes(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func isHot(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// reduce keeps the hot-path records, collapsing -count=N repeats of a
+// benchmark to one record with the minimum ns/op and the maximum
+// allocs/op and B/op, in first-seen order.
+func reduce(recs []record, prefixes []string) []record {
+	index := map[string]int{}
+	var out []record
+	for _, r := range recs {
+		if !isHot(r.Name, prefixes) {
+			continue
+		}
+		i, seen := index[r.Name]
+		if !seen {
+			index[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		if r.NsPerOp < out[i].NsPerOp {
+			out[i].NsPerOp = r.NsPerOp
+		}
+		out[i].AllocsPerOp = maxMetric(out[i].AllocsPerOp, r.AllocsPerOp)
+		out[i].BytesPerOp = maxMetric(out[i].BytesPerOp, r.BytesPerOp)
+	}
+	return out
+}
+
+// maxMetric merges two optional -benchmem readings: a missing column
+// in any repeat poisons the merge (the gate must see it), otherwise
+// the worst reading wins.
+func maxMetric(a, b *float64) *float64 {
+	if a == nil || b == nil {
+		return nil
+	}
+	if *b > *a {
+		return b
+	}
+	return a
+}
+
+func run(oldPath, newPath string, prefixes []string, maxNs float64, forceNs bool) error {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	baseline := map[string]record{}
+	for _, r := range reduce(oldRep.Benchmarks, prefixes) {
+		baseline[r.Name] = r
+	}
+	current := reduce(newRep.Benchmarks, prefixes)
+	enforceNs := forceNs || (oldRep.CPU != "" && oldRep.CPU == newRep.CPU)
+	if !enforceNs {
+		fmt.Printf("cpu headers differ (old %q, new %q): ns/op checked as warning only\n", oldRep.CPU, newRep.CPU)
+	}
+
+	var failures []string
+	matched, seeded := 0, 0
+	for _, nr := range current {
+		or, ok := baseline[nr.Name]
+		if !ok {
+			seeded++
+			fmt.Printf("NEW   %-60s %12.1f ns/op (no baseline)\n", nr.Name, nr.NsPerOp)
+			continue
+		}
+		matched++
+		verdict := "ok"
+		switch {
+		case or.AllocsPerOp == nil:
+			verdict = "ok (baseline has no allocs/op)"
+		case nr.AllocsPerOp == nil:
+			verdict = "FAIL: new run lost allocs/op (run with -benchmem)"
+		case *nr.AllocsPerOp > *or.AllocsPerOp:
+			verdict = fmt.Sprintf("FAIL: allocs/op %.0f -> %.0f", *or.AllocsPerOp, *nr.AllocsPerOp)
+		}
+		if !strings.HasPrefix(verdict, "FAIL") && or.NsPerOp > 0 {
+			if ratio := nr.NsPerOp/or.NsPerOp - 1; ratio > maxNs {
+				if enforceNs {
+					verdict = fmt.Sprintf("FAIL: ns/op %+.1f%% (limit %+.1f%%)", ratio*100, maxNs*100)
+				} else {
+					verdict = fmt.Sprintf("warn: ns/op %+.1f%% on different hardware", ratio*100)
+				}
+			}
+		}
+		fmt.Printf("%-60s %12.1f -> %-12.1f ns/op  %s\n", nr.Name, or.NsPerOp, nr.NsPerOp, verdict)
+		if strings.HasPrefix(verdict, "FAIL") {
+			failures = append(failures, fmt.Sprintf("%s: %s", nr.Name, verdict))
+		}
+	}
+	fmt.Printf("%d hot-path benchmarks compared, %d newly seeded, %d regressions\n", matched, seeded, len(failures))
+	if len(failures) > 0 {
+		return fmt.Errorf("%d hot-path regression(s):\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

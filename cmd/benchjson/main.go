@@ -38,6 +38,13 @@ type Record struct {
 	Params     map[string]string `json:"params,omitempty"`
 	Iterations int64             `json:"iterations"`
 	NsPerOp    float64           `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the -benchmem memory columns,
+	// promoted out of Metrics to named fields so the regression gate
+	// (cmd/benchdiff) can see memory without string-keyed lookups.
+	// Pointers distinguish a measured 0 allocs/op — the hot-path
+	// budget this repo enforces — from a run without -benchmem.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Metrics holds every further "value unit" pair on the line —
 	// Go's own (B/op, allocs/op) and b.ReportMetric customs like
 	// "delay/job" (the tables' Δψ/p_tot) or the federation
@@ -45,9 +52,13 @@ type Record struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the document benchjson emits.
+// Report is the document benchjson emits. CPU is the host description
+// from the bench output's "cpu:" header, when present — cmd/benchdiff
+// only enforces wall-time thresholds between artifacts measured on the
+// same hardware.
 type Report struct {
 	Format     string   `json:"format"`
+	CPU        string   `json:"cpu,omitempty"`
 	Benchmarks []Record `json:"benchmarks"`
 }
 
@@ -73,7 +84,12 @@ func parse(r io.Reader) (*Report, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	for sc.Scan() {
-		rec, ok := parseLine(sc.Text())
+		line := sc.Text()
+		if cpu, found := strings.CutPrefix(line, "cpu:"); found {
+			report.CPU = strings.TrimSpace(cpu)
+			continue
+		}
+		rec, ok := parseLine(line)
 		if ok {
 			report.Benchmarks = append(report.Benchmarks, rec)
 		}
@@ -123,6 +139,12 @@ func parseLine(line string) (Record, bool) {
 		}
 	}
 	rec := Record{Name: name, Iterations: iters, NsPerOp: ns, Metrics: metrics}
+	if v, ok := metrics["allocs/op"]; ok {
+		rec.AllocsPerOp = &v
+	}
+	if v, ok := metrics["B/op"]; ok {
+		rec.BytesPerOp = &v
+	}
 	segs := strings.Split(strings.TrimPrefix(name, "Benchmark"), "/")
 	rec.Benchmark = segs[0]
 	for _, seg := range segs[1:] {

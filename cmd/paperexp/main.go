@@ -12,11 +12,14 @@
 // -fed extends the evaluation toward the federated-clouds follow-up:
 // the default three-cluster diurnal scenario is routed under every
 // policy named by -fed-policies (local / leastloaded / fairness /
-// fairness-capacity / fairness-decay / fedref, plus the re-delegating
-// fedref-migrate / fairness-migrate variants tuned by
+// fairness-capacity / fairness-decay / fedref / fedref-sample<N>, plus
+// the re-delegating fedref-migrate / fairness-migrate variants tuned by
 // -fed-migration-budget), reporting offloaded fraction, federation-wide
 // value and federation-level Δψ/p_tot against the local-only routing
-// of the same instances.
+// of the same instances. -fed-clusters and -fed-orgs resize the grid;
+// above 16 members FedREF's exact Shapley evaluator is infeasible and
+// the fedref-sample<N> budgets are the sampled-Shapley ablation
+// (routing quality vs estimator budget, EXPERIMENTS.md §3).
 //
 // Workload families are scaled-down replicas of the archive traces by
 // default (see DESIGN.md); -scale=full restores the original processor
@@ -75,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fedAlg       = fs.String("fed-alg", "directcontr", "member-cluster algorithm for -fed")
 		fedStaleness = fs.Int64("fed-staleness", 0, "summary gossip staleness Δt for -fed (0 = fresh every release)")
 		fedMigBudget = fs.Int("fed-migration-budget", 0, "per-refresh migration cap for -migrate policies (0 = policy default, negative disables)")
+		fedClusters  = fs.Int("fed-clusters", 0, "member-cluster count for -fed (0 = scenario default; >16 forces FedREF onto the sampled estimator)")
+		fedOrgs      = fs.Int("fed-orgs", 0, "organization count for -fed (0 = scenario default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -169,6 +174,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cfg := exp.DefaultFedConfig()
 		if *scale != "full" {
 			cfg.Scenario.Base = cfg.Scenario.Base.Scale(0.2)
+		}
+		if *fedClusters > 0 {
+			cfg.Scenario.Clusters = *fedClusters
+		}
+		if *fedOrgs > 0 {
+			cfg.Scenario.Orgs = *fedOrgs
 		}
 		cfg.Horizon = model.Time(*fedHorizon)
 		cfg.Instances = *instances

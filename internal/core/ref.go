@@ -86,9 +86,11 @@ type Ref struct {
 	// ct is the game-generic contribution engine: the dense coalition
 	// value snapshot, dispatch stamps and memoized weight tables live
 	// there; this file only decides when to refresh and which coalition
-	// to compute φ for. The engine reads values through Game(), the
-	// org-level ContribGame instance.
-	ct *shapley.Contrib
+	// to compute φ for. The engine reads values through game, the
+	// org-level ContribGame instance (built once — per-step interface
+	// construction would be an allocation on the dispatch path).
+	ct   *shapley.Contrib
+	game shapley.ContribGame
 
 	// Event-heap driver state, persistent across StepNext calls so a
 	// run can be held open, fed and checkpointed. Rebuilt from the
@@ -112,6 +114,7 @@ func NewRef(inst *model.Instance, opts RefOptions) *Ref {
 		adj:   make([][]float64, 1<<uint(k)),
 		ct:    shapley.NewContrib(k),
 	}
+	r.game = orgGame{r}
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		r.sims[mask] = sim.New(inst, mask, &refPolicy{r: r, mask: mask}, nil)
 		r.phi[mask] = make([]float64, k)
@@ -160,7 +163,7 @@ func (g orgGame) ValueAt(c model.Coalition, t model.Time) int64 {
 // Game exposes REF's org-level cooperative game so the generic Shapley
 // estimators (shapley.ExactAt, shapley.SampleAt) can consume the same
 // coalition values the drivers schedule by.
-func (r *Ref) Game() shapley.ContribGame { return orgGame{r} }
+func (r *Ref) Game() shapley.ContribGame { return r.game }
 
 // Run drives every subcoalition schedule to the horizon and returns the
 // grand coalition's result, with exact Shapley contributions. It is a
@@ -215,7 +218,8 @@ func (r *Ref) ResultAt(t model.Time) *Result {
 // Inject implements Stepper: register online arrivals (already appended
 // to the instance) with every subcoalition containing the owner. Cached
 // value polynomials stay exact — a pending release changes no executed
-// work — but event-heap keys go stale, so the heap is rebuilt.
+// work — but event-heap keys go stale, so each mask is re-keyed in
+// place (an O(1) no-op for the masks the arrivals don't advance).
 func (r *Ref) Inject(ids []int) error {
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		for _, id := range ids {
@@ -223,9 +227,9 @@ func (r *Ref) Inject(ids []int) error {
 				return err
 			}
 		}
-	}
-	if r.driverReady {
-		r.rebuildHeap()
+		if r.driverReady {
+			r.h.update(mask, r.sims[mask].NextEventTime())
+		}
 	}
 	return nil
 }
@@ -238,23 +242,31 @@ func (r *Ref) Inject(ids []int) error {
 // counterfactual work stands, exactly as it would had the coalition
 // been running alone. Withdrawal moves no executed work, so cached
 // value polynomials stay exact, but a pending-release removal can push
-// a cluster's next event later — the event heap is rebuilt like Inject
-// does.
+// a cluster's next event later — only the 2^(k−1) masks containing the
+// owner can change, and each is re-keyed in place with an incremental
+// heap sift (removal included, when the withdrawal drained the
+// cluster's last pending event) instead of a full rebuild. Migration
+// rounds withdraw one job at a time, so this is the hot path the
+// indexed heap exists for.
 func (r *Ref) Withdraw(id int) error {
 	if err := withdrawDecision(r.sims[r.grand], r.Name(), id); err != nil {
 		return err
+	}
+	if r.driverReady {
+		r.h.update(r.grand, r.sims[r.grand].NextEventTime())
 	}
 	org := r.inst.Jobs[id].Org
 	for mask := model.Coalition(1); mask < r.grand; mask++ {
 		if !mask.Has(org) {
 			continue
 		}
-		if _, err := r.sims[mask].Withdraw(org, id); err != nil {
+		removed, err := r.sims[mask].Withdraw(org, id)
+		if err != nil {
 			return err
 		}
-	}
-	if r.driverReady {
-		r.rebuildHeap()
+		if removed && r.driverReady {
+			r.h.update(mask, r.sims[mask].NextEventTime())
+		}
 	}
 	return nil
 }

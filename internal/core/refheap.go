@@ -2,7 +2,6 @@ package core
 
 import (
 	"runtime"
-	"sort"
 
 	"repro/internal/model"
 	"repro/internal/sim"
@@ -61,11 +60,14 @@ func (r *Ref) ensureDriver() {
 }
 
 // rebuildHeap rebuilds the heap from every cluster's current
-// NextEventTime — the single keying rule, used both at driver
-// (re)initialization and after an injection made some key earlier.
-// Cached polynomials remain exact across injections (no executed work
-// changed), so Inject recomputes only the keys.
+// NextEventTime — the single keying rule, now needed only at driver
+// (re)initialization: Inject and Withdraw re-key just the masks they
+// touched through eventHeap.update, and the differential tests hold the
+// incremental heap to exactly the state this rebuild would produce.
 func (r *Ref) rebuildHeap() {
+	for _, mask := range r.h.heap {
+		r.h.pos[mask] = -1
+	}
 	r.h.heap = r.h.heap[:0]
 	for mask := model.Coalition(1); mask <= r.grand; mask++ {
 		if k := r.sims[mask].NextEventTime(); k != sim.MaxTime {
@@ -146,14 +148,21 @@ func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time) {
 	if !any {
 		return
 	}
-	sort.Slice(touched, func(i, j int) bool {
-		si, sj := touched[i].Size(), touched[j].Size()
-		if si != sj {
-			return si < sj
+	// Insertion sort by (size, mask): the touched set is tiny (one
+	// completion, or the masks sharing a release instant) and
+	// sort.Slice allocates its closure on every call — this loop is on
+	// the zero-alloc stepping budget.
+	for i := 1; i < len(touched); i++ {
+		m := touched[i]
+		sz := m.Size()
+		j := i - 1
+		for j >= 0 && (touched[j].Size() > sz || (touched[j].Size() == sz && touched[j] > m)) {
+			touched[j+1] = touched[j]
+			j--
 		}
-		return touched[i] < touched[j]
-	})
-	game := r.Game()
+		touched[j+1] = m
+	}
+	game := r.game
 	for _, mask := range touched {
 		c := r.sims[mask]
 		if !c.CanDispatch() {
@@ -165,19 +174,27 @@ func (r *Ref) dispatchTouched(touched []model.Coalition, t model.Time) {
 	}
 }
 
-// eventHeap is a binary min-heap of coalition masks keyed by next
-// event time, with the mask value as a deterministic tie-break. key is
-// indexed by mask; callers set key[mask] before push.
+// eventHeap is an indexed binary min-heap of coalition masks keyed by
+// next event time, with the mask value as a deterministic tie-break.
+// key and pos are indexed by mask (pos[mask] == -1 when absent), so
+// single-mask re-keys are O(log n) sifts (fix/remove/update) instead of
+// full rebuilds; callers set key[mask] before push.
 type eventHeap struct {
 	key  []model.Time
+	pos  []int
 	heap []model.Coalition
 }
 
 func newEventHeap(n int) *eventHeap {
-	return &eventHeap{
+	h := &eventHeap{
 		key:  make([]model.Time, n),
+		pos:  make([]int, n),
 		heap: make([]model.Coalition, 0, n),
 	}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
 }
 
 func (h *eventHeap) size() int { return len(h.heap) }
@@ -194,9 +211,12 @@ func (h *eventHeap) less(i, j int) bool {
 
 func (h *eventHeap) swap(i, j int) {
 	h.heap[i], h.heap[j] = h.heap[j], h.heap[i]
+	h.pos[h.heap[i]] = i
+	h.pos[h.heap[j]] = j
 }
 
 func (h *eventHeap) push(mask model.Coalition) {
+	h.pos[mask] = len(h.heap)
 	h.heap = append(h.heap, mask)
 	h.up(len(h.heap) - 1)
 }
@@ -206,10 +226,56 @@ func (h *eventHeap) pop() model.Coalition {
 	last := len(h.heap) - 1
 	h.swap(0, last)
 	h.heap = h.heap[:last]
+	h.pos[top] = -1
 	if last > 0 {
 		h.down(0)
 	}
 	return top
+}
+
+// fix restores the heap invariant after key[mask] changed in place: one
+// up-sift, then a down-sift if the entry did not move up.
+func (h *eventHeap) fix(mask model.Coalition) {
+	i := h.pos[mask]
+	h.up(i)
+	if h.pos[mask] == i {
+		h.down(i)
+	}
+}
+
+// remove deletes mask from anywhere in the heap: swap with the last
+// entry, truncate, and re-sift the displaced entry.
+func (h *eventHeap) remove(mask model.Coalition) {
+	i := h.pos[mask]
+	last := len(h.heap) - 1
+	h.swap(i, last)
+	h.heap = h.heap[:last]
+	h.pos[mask] = -1
+	if i < last {
+		h.fix(h.heap[i])
+	}
+}
+
+// update is the incremental form of rebuildHeap's keying rule for one
+// mask: present iff k != sim.MaxTime, keyed by k. It inserts, removes
+// or sifts as needed, and is a no-op when the key is unchanged.
+func (h *eventHeap) update(mask model.Coalition, k model.Time) {
+	if k == sim.MaxTime {
+		if h.pos[mask] >= 0 {
+			h.remove(mask)
+		}
+		return
+	}
+	if h.pos[mask] < 0 {
+		h.key[mask] = k
+		h.push(mask)
+		return
+	}
+	if h.key[mask] == k {
+		return
+	}
+	h.key[mask] = k
+	h.fix(mask)
 }
 
 func (h *eventHeap) up(i int) {

@@ -324,6 +324,26 @@ func (s *Session) Advance(until *model.Time) (model.Time, []Decision, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.dirty.Store(true)
+	return s.advanceLocked(until)
+}
+
+// AdvanceBatch runs several advance requests under one lock acquisition
+// and one checkpoint-dirty mark — the pipeline's per-wakeup coalescing
+// path. out[i] receives untils[i]'s outcome; out must be at least as
+// long as untils. A failing request fails alone and later requests
+// still run, so the observable per-request results match len(untils)
+// sequential Advance calls exactly.
+func (s *Session) AdvanceBatch(untils []*model.Time, out []AdvanceResult) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dirty.Store(true)
+	for i, until := range untils {
+		now, decs, err := s.advanceLocked(until)
+		out[i] = AdvanceResult{Now: now, Decisions: decs, Err: err}
+	}
+}
+
+func (s *Session) advanceLocked(until *model.Time) (model.Time, []Decision, error) {
 	if s.eng != nil {
 		var (
 			starts []sim.Start
@@ -415,13 +435,13 @@ func (s *Session) State() StateReply {
 	}
 	l := s.fedn.Ledger()
 	reply := StateReply{
-		ID:        s.id,
-		Kind:      KindFederation,
-		Policy:    s.fedn.Policy().Name(),
-		Now:       s.fedn.Now(),
-		Jobs:      int(s.fedn.Submitted()),
-		Pending:   s.fedn.PendingCount(),
-		Decisions: len(s.fedn.Decisions()),
+		ID:         s.id,
+		Kind:       KindFederation,
+		Policy:     s.fedn.Policy().Name(),
+		Now:        s.fedn.Now(),
+		Jobs:       int(s.fedn.Submitted()),
+		Pending:    s.fedn.PendingCount(),
+		Decisions:  len(s.fedn.Decisions()),
 		Psi:        l.FederationPsi(),
 		Value:      l.FederationValue(),
 		Offloaded:  l.Offloaded(),
@@ -469,6 +489,20 @@ func (s *Session) Decisions(since int) (int, []Decision) {
 		since = len(all)
 	}
 	return len(all), fromFedDecisions(all[since:])
+}
+
+// DecisionCount returns the decision-log length without materializing
+// the wire-format slice — the read path for callers that only count
+// (pollers checking for news, session listings). Decisions(since)
+// rebuilds a Decision per log entry; this is a length read under the
+// lock.
+func (s *Session) DecisionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.eng != nil {
+		return len(s.eng.Decisions())
+	}
+	return len(s.fedn.Decisions())
 }
 
 // Checkpoint serializes the session's run state (engine snapshot or

@@ -45,6 +45,10 @@ type LoadReport struct {
 	P99Ms            float64 `json:"p99_ms"`
 	PipelineWakeups  int64   `json:"pipeline_wakeups"`
 	PipelineBatches  int64   `json:"pipeline_batches"`
+	// PipelineCoalesced counts the advances served through same-session
+	// AdvanceBatch groups — one session lock and one dirty mark per
+	// group instead of per request.
+	PipelineCoalesced int64 `json:"pipeline_coalesced"`
 }
 
 // loadSessionConfig is the per-session workload: a small two-cluster
@@ -205,16 +209,17 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	}
 	pstats := pipe.Stats()
 	return LoadReport{
-		Sessions:         cfg.Sessions,
-		Advances:         int64(len(latencies)),
-		Decisions:        decisions,
-		SetupSeconds:     setup.Seconds(),
-		AdvanceSeconds:   advance.Seconds(),
-		ThroughputPerSec: float64(len(latencies)) / advance.Seconds(),
-		P50Ms:            pct(0.50),
-		P95Ms:            pct(0.95),
-		P99Ms:            pct(0.99),
-		PipelineWakeups:  pstats.Wakeups,
-		PipelineBatches:  pstats.Batches,
+		Sessions:          cfg.Sessions,
+		Advances:          int64(len(latencies)),
+		Decisions:         decisions,
+		SetupSeconds:      setup.Seconds(),
+		AdvanceSeconds:    advance.Seconds(),
+		ThroughputPerSec:  float64(len(latencies)) / advance.Seconds(),
+		P50Ms:             pct(0.50),
+		P95Ms:             pct(0.95),
+		P99Ms:             pct(0.99),
+		PipelineWakeups:   pstats.Wakeups,
+		PipelineBatches:   pstats.Batches,
+		PipelineCoalesced: pstats.Coalesced,
 	}, nil
 }

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// AdvanceBatch is the amortization seam the daemon's pipeline leans
+// on; it must be nothing more than the equivalent sequence of Step /
+// StepToNextEvent calls — same starts, clocks, stepped flags and
+// error positions, including a rejected backwards target mid-batch
+// that fails in place without derailing the requests after it.
+func TestAdvanceBatchMatchesSequential(t *testing.T) {
+	until := func(v model.Time) *model.Time { return &v }
+	for seed := int64(0); seed < 8; seed++ {
+		r := rand.New(rand.NewSource(400 + seed))
+		in := testInstance(r, 3)
+		batched := New(core.RefAlgorithm{}, in, 1)
+		sequential := New(core.RefAlgorithm{}, in, 1)
+
+		reqs := []BatchRequest{
+			{Until: until(3)},
+			{}, // next event
+			{},
+			{Until: until(2)}, // backwards by now: must error, advance nothing
+			{Until: until(9)},
+			{},
+			{Until: until(in.Horizon() + 1)},
+		}
+		out := make([]BatchResult, len(reqs))
+		batched.AdvanceBatch(reqs, out)
+
+		for i, req := range reqs {
+			var want BatchResult
+			if req.Until != nil {
+				want.Starts, want.Err = sequential.Step(*req.Until)
+				want.Stepped = want.Err == nil
+			} else {
+				want.Starts, want.Stepped, want.Err = sequential.StepToNextEvent()
+			}
+			want.Now = sequential.Now()
+			got := out[i]
+			if (got.Err != nil) != (want.Err != nil) || got.Stepped != want.Stepped || got.Now != want.Now {
+				t.Fatalf("seed %d request %d: got (now=%d stepped=%v err=%v), sequential (now=%d stepped=%v err=%v)",
+					seed, i, got.Now, got.Stepped, got.Err, want.Now, want.Stepped, want.Err)
+			}
+			if len(got.Starts) != len(want.Starts) {
+				t.Fatalf("seed %d request %d: %d starts vs sequential's %d", seed, i, len(got.Starts), len(want.Starts))
+			}
+			for j := range got.Starts {
+				if got.Starts[j] != want.Starts[j] {
+					t.Fatalf("seed %d request %d start %d: %+v vs sequential's %+v", seed, i, j, got.Starts[j], want.Starts[j])
+				}
+			}
+		}
+		assertSameRun(t, "batched vs sequential", sequential.Result(), batched.Result(), sequential.Decisions(), batched.Decisions())
+	}
+}

@@ -34,7 +34,8 @@ type Engine struct {
 	s        core.Stepper
 	seed     int64
 	now      model.Time
-	reported int // starts already handed out by Step
+	reported int   // starts already handed out by Step
+	feedIDs  []int // scratch for Feed's returned IDs, reused per call
 }
 
 // New starts an incremental run of alg on inst. The engine takes
@@ -65,7 +66,10 @@ func (e *Engine) NextEventTime() model.Time { return e.s.NextEventTime() }
 // are assigned by the engine (callers leave Job.ID zero); each job must
 // name a valid organization, have size ≥ 1, and be released no earlier
 // than the engine clock — the scheduler is non-clairvoyant, but it
-// cannot be fed its own past. The assigned IDs are returned in order.
+// cannot be fed its own past. The assigned IDs are returned in order;
+// the slice is a scratch buffer owned by the engine, valid until the
+// next Feed (callers that keep IDs copy them — the serving tier
+// converts to its wire format immediately).
 func (e *Engine) Feed(jobs []model.Job) ([]int, error) {
 	if len(jobs) == 0 {
 		return nil, nil
@@ -82,16 +86,16 @@ func (e *Engine) Feed(jobs []model.Job) ([]int, error) {
 			return nil, fmt.Errorf("engine: feed: release %d before engine time %d", j.Release, e.now)
 		}
 	}
-	ids := make([]int, len(jobs))
-	for i, j := range jobs {
+	e.feedIDs = e.feedIDs[:0]
+	for _, j := range jobs {
 		j.ID = len(inst.Jobs)
-		ids[i] = j.ID
+		e.feedIDs = append(e.feedIDs, j.ID)
 		inst.Jobs = append(inst.Jobs, j)
 	}
-	if err := e.s.Inject(ids); err != nil {
+	if err := e.s.Inject(e.feedIDs); err != nil {
 		return nil, err
 	}
-	return ids, nil
+	return e.feedIDs, nil
 }
 
 // Withdraw removes a fed-but-not-yet-started job from the run: the job
@@ -119,6 +123,12 @@ func (e *Engine) Withdrawn() int { return e.s.Withdrawn() }
 // made since the previous Step (or since Restore). Stepping to the
 // current instant is a no-op that reports freshly fed same-instant
 // releases, if any were dispatched.
+//
+// The returned slice aliases the run's decision log: entries are
+// written once and never mutated, so the contents stay valid
+// indefinitely, but callers must treat the slice as read-only and must
+// not append to it (appends would race future log growth). Copy it to
+// take ownership.
 func (e *Engine) Step(until model.Time) ([]sim.Start, error) {
 	if until < e.now {
 		return nil, fmt.Errorf("engine: step to %d before engine time %d", until, e.now)
@@ -128,7 +138,7 @@ func (e *Engine) Step(until model.Time) ([]sim.Start, error) {
 	e.s.FinishAt(until)
 	e.now = until
 	all := e.s.Starts()
-	fresh := append([]sim.Start(nil), all[e.reported:]...)
+	fresh := all[e.reported:]
 	e.reported = len(all)
 	return fresh, nil
 }
@@ -143,6 +153,45 @@ func (e *Engine) StepToNextEvent() ([]sim.Start, bool, error) {
 	}
 	starts, err := e.Step(t)
 	return starts, true, err
+}
+
+// BatchRequest is one advance target in an AdvanceBatch; a nil Until
+// means "to the next pending event" (the StepToNextEvent form).
+type BatchRequest struct {
+	Until *model.Time
+}
+
+// BatchResult is one AdvanceBatch outcome. Starts aliases the decision
+// log under the same read-only contract as Step's return value; Stepped
+// reports whether the run moved (false for a nil-Until request on a
+// drained run, mirroring StepToNextEvent's second result).
+type BatchResult struct {
+	Now     model.Time
+	Starts  []sim.Start
+	Stepped bool
+	Err     error
+}
+
+// AdvanceBatch processes a group of advance requests back to back,
+// filling out[i] with requests[i]'s outcome; out must be at least as
+// long as requests. One call amortizes the per-request overhead the
+// serving tier would otherwise pay per wakeup — the daemon's pipeline
+// workers coalesce a session's queued advances into one AdvanceBatch
+// under one session lock and one checkpoint-dirty mark. A failing
+// request records its error and leaves the run where it stands; later
+// requests still execute, exactly as sequential Step calls would.
+func (e *Engine) AdvanceBatch(requests []BatchRequest, out []BatchResult) {
+	for i, req := range requests {
+		var res BatchResult
+		if req.Until != nil {
+			res.Starts, res.Err = e.Step(*req.Until)
+			res.Stepped = res.Err == nil
+		} else {
+			res.Starts, res.Stepped, res.Err = e.StepToNextEvent()
+		}
+		res.Now = e.now
+		out[i] = res
+	}
 }
 
 // Decisions returns the full decision schedule so far.

@@ -3,6 +3,7 @@ package fed
 import (
 	"fmt"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"repro/internal/model"
@@ -298,10 +299,32 @@ const fedRefSampleBudget = 256
 // Ties prefer the origin cluster, then the lowest index; a fresh
 // federation (all zeros) therefore routes every job home, and a
 // 1-member federation reproduces single-cluster behavior exactly.
-type RefPolicy struct{}
+type RefPolicy struct {
+	// Samples overrides the sampled estimator's permutation budget
+	// (fedRefSampleBudget when 0). ForceSample routes through the
+	// sampled estimator even when the member count admits the exact
+	// evaluator — together they are the sampled-Shapley ablation's
+	// control knobs (routing quality vs sample budget, EXPERIMENTS.md).
+	Samples     int
+	ForceSample bool
+}
 
-// Name implements Policy.
-func (RefPolicy) Name() string { return "fedref" }
+func (p RefPolicy) sampleBudget() int {
+	if p.Samples > 0 {
+		return p.Samples
+	}
+	return fedRefSampleBudget
+}
+
+// Name implements Policy. Explicitly sampled variants carry the budget
+// in the name ("fedref-sample64"), so checkpoints restore the exact
+// estimator configuration and ablation tables label rows by budget.
+func (p RefPolicy) Name() string {
+	if p.ForceSample || p.Samples > 0 {
+		return fmt.Sprintf("fedref-sample%d", p.sampleBudget())
+	}
+	return "fedref"
+}
 
 // Route implements Policy. Without the exchanged ledger there is no
 // federation game to value, so the degenerate form keeps the job home;
@@ -309,19 +332,19 @@ func (RefPolicy) Name() string { return "fedref" }
 func (RefPolicy) Route(_, origin int, _ []Summary) int { return origin }
 
 // RouteLedger implements LedgerPolicy.
-func (RefPolicy) RouteLedger(_, origin int, sums []Summary, routedWork [][]int64) int {
+func (p RefPolicy) RouteLedger(_, origin int, sums []Summary, routedWork [][]int64) int {
 	if len(sums) <= 1 {
 		return origin
 	}
 	g := GameFromExchange(sums, routedWork)
 	t := sums[origin].Now
 	var phi []float64
-	if len(sums) <= maxExactFedPlayers {
+	if len(sums) <= maxExactFedPlayers && !p.ForceSample {
 		phi = shapley.ExactAt(g, t)
 	} else {
 		// Deterministic pure function of the arguments: the sample
 		// stream is derived from the exchange instant alone.
-		phi = shapley.SampleAt(g, t, fedRefSampleBudget, rand.New(rand.NewSource(int64(t))))
+		phi = shapley.SampleAt(g, t, p.sampleBudget(), rand.New(rand.NewSource(int64(t))))
 	}
 	assigned := make([]int64, len(sums))
 	for o := range routedWork {
@@ -342,8 +365,26 @@ func (RefPolicy) RouteLedger(_, origin int, sums []Summary, routedWork [][]int64
 }
 
 // PolicyByName resolves a delegation policy from its wire name.
+// "fedref-sample<N>" (optionally "-migrate" suffixed) is the explicitly
+// sampled FedREF variant with an N-permutation budget.
 func PolicyByName(name string) (Policy, error) {
-	switch strings.ToLower(name) {
+	low := strings.ToLower(name)
+	if rest, ok := strings.CutPrefix(low, "fedref-sample"); ok {
+		migrate := false
+		if r, ok := strings.CutSuffix(rest, "-migrate"); ok {
+			migrate, rest = true, r
+		}
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("fed: bad sampled-FedREF policy %q (want fedref-sample<N> with N >= 1)", name)
+		}
+		p := Policy(RefPolicy{Samples: n, ForceSample: true})
+		if migrate {
+			p = Migrating{Inner: p, Budget: DefaultMigrationBudget}
+		}
+		return p, nil
+	}
+	switch low {
 	case "local", "localonly", "local-only":
 		return LocalOnly{}, nil
 	case "leastloaded", "least-loaded", "greedy":

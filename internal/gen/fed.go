@@ -55,10 +55,17 @@ func DefaultFedScenario() FedScenario {
 	}
 }
 
-// Validate checks the scenario's structural constraints.
+// Validate checks the scenario's structural constraints. Cluster counts
+// up to model.MaxOrgs are supported — members are the players of the
+// federation-level cooperative game, so their coalitions must fit a
+// mask; counts above maxExactFedPlayers are the sampled-Shapley
+// ablation's regime (FedREF's exact evaluator is infeasible there).
 func (s FedScenario) Validate() error {
 	if s.Clusters < 1 {
 		return fmt.Errorf("gen: federated scenario needs at least one cluster, got %d", s.Clusters)
+	}
+	if s.Clusters > model.MaxOrgs {
+		return fmt.Errorf("gen: federated scenario cluster count %d exceeds the federation-game member cap %d", s.Clusters, model.MaxOrgs)
 	}
 	if s.Orgs < 1 || s.Orgs > model.MaxOrgs {
 		return fmt.Errorf("gen: federated scenario org count %d out of range [1, %d]", s.Orgs, model.MaxOrgs)

@@ -275,9 +275,12 @@ func (c *Cluster) Withdraw(org, id int) (bool, error) {
 // cluster (and not re-injected since).
 func (c *Cluster) WithdrawnCount() int { return len(c.withdrawn) }
 
-// WithdrawnJobs returns the IDs of withdrawn (and not re-injected)
-// jobs in withdrawal order. The slice is a copy.
-func (c *Cluster) WithdrawnJobs() []int { return append([]int(nil), c.withdrawn...) }
+// WithdrawnJobs appends the IDs of withdrawn (and not re-injected)
+// jobs, in withdrawal order, to buf and returns the result. Callers
+// polling every step pass a reused buffer (buf[:0]) to keep the read
+// allocation-free; pass nil for a fresh copy. Callers that only need
+// the count should use WithdrawnCount.
+func (c *Cluster) WithdrawnJobs(buf []int) []int { return append(buf, c.withdrawn...) }
 
 // unwithdraw removes id from the withdrawn list, reporting whether it
 // was there.
@@ -310,7 +313,11 @@ func (c *Cluster) Dispatch() {
 		c.startHead(org, m)
 		used++
 	}
-	c.free = c.free[used:]
+	// Compact in place instead of reslicing forward: c.free[used:] would
+	// permanently surrender the consumed capacity, so steady-state
+	// completion appends (AdvanceTo) reallocate forever.
+	n := copy(c.free, c.free[used:])
+	c.free = c.free[:n]
 }
 
 // startHead starts org's head job on machine m at the current time.

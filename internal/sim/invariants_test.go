@@ -469,7 +469,7 @@ func FuzzWithdrawReinject(f *testing.F) {
 				}
 				withdrawn[id] = true
 			case 2:
-				w := c.WithdrawnJobs()
+				w := c.WithdrawnJobs(nil)
 				if len(w) == 0 {
 					continue
 				}
