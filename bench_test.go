@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/ctrl"
 	"repro/internal/daemon"
 	"repro/internal/engine"
 	"repro/internal/exp"
@@ -562,6 +563,104 @@ func BenchmarkHotPath(b *testing.B) {
 				b.StartTimer()
 			}
 		}
+	})
+}
+
+// BenchmarkControlPlane measures the admission control plane's cost:
+// a fixed overload stream (two organizations, 2× one machine's service
+// rate) is fed through a policy-scheduled engine with the gate off,
+// with AlwaysAdmit (the pure event-decomposition overhead — Arrival →
+// Admission → Routing per job), and with the shedding policies; plus
+// the federated plane over the diurnal scenario. The "engine/off" row
+// is the PR 7 hot-path contract's control: with the plane off, Feed
+// and Step take the legacy zero-allocation branches untouched.
+func BenchmarkControlPlane(b *testing.B) {
+	gateOrgs := []model.Org{{Name: "A", Machines: 1}, {Name: "B", Machines: 0}}
+	var gateJobs []model.Job
+	for i := 0; i < 40; i++ {
+		gateJobs = append(gateJobs, model.Job{Org: i % 2, Size: 4, Release: model.Time(2 * i)})
+	}
+	engineRun := func(b *testing.B, spec *ctrl.PolicySpec) {
+		var admitted float64
+		for i := 0; i < b.N; i++ {
+			inst, err := model.NewInstance(gateOrgs, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e := engine.New(core.FromPolicy("FCFS", func() sim.Policy { return baseline.NewFCFS() }), inst, 1)
+			if err := e.SetAdmission(spec); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Feed(gateJobs); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := e.Step(400); err != nil {
+				b.Fatal(err)
+			}
+			if st := e.AdmissionStats(); st != nil {
+				admitted = float64(st.TotalAdmitted())
+			} else {
+				admitted = float64(len(e.Decisions()))
+			}
+		}
+		b.ReportMetric(admitted, "admitted")
+	}
+	b.Run("engine/off", func(b *testing.B) { engineRun(b, nil) })
+	b.Run("engine/always", func(b *testing.B) {
+		engineRun(b, &ctrl.PolicySpec{Policy: "always"})
+	})
+	b.Run("engine/tokenbucket", func(b *testing.B) {
+		engineRun(b, &ctrl.PolicySpec{Policy: "tokenbucket", Rate: 1, Period: 8, Burst: 1, MaxAttempts: 2})
+	})
+	b.Run("engine/backpressure-stale", func(b *testing.B) {
+		engineRun(b, &ctrl.PolicySpec{Policy: "backpressure", MaxWaiting: 2, RetryAfter: 3, MaxAttempts: 4, Staleness: 20})
+	})
+
+	scen := gen.DefaultFedScenario()
+	scen.Base = scen.Base.Scale(0.1)
+	const fedHorizon = model.Time(3000)
+	w, err := scen.Generate(fedHorizon, stats.NewRand(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fedRun := func(b *testing.B, spec *ctrl.PolicySpec) {
+		var admitted float64
+		for i := 0; i < b.N; i++ {
+			specs := make([]fed.ClusterSpec, len(w.Machines))
+			for c := range specs {
+				specs[c] = fed.ClusterSpec{
+					Name: fmt.Sprintf("site%d", c),
+					Alg:  core.DirectContrAlgorithm().(core.StepperAlgorithm), Machines: w.Machines[c],
+				}
+			}
+			f, err := fed.New(w.Orgs, specs, fed.LeastLoaded{}, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f.SetStaleness(100)
+			if err := f.SetAdmission(spec); err != nil {
+				b.Fatal(err)
+			}
+			for c, js := range w.Jobs {
+				if err := f.SubmitJobs(c, js); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := f.Step(fedHorizon); err != nil {
+				b.Fatal(err)
+			}
+			if st := f.AdmissionStats(); st != nil {
+				admitted = float64(st.TotalAdmitted())
+			} else {
+				admitted = float64(f.Submitted())
+			}
+		}
+		b.ReportMetric(admitted, "admitted")
+	}
+	b.Run("fed/off", func(b *testing.B) { fedRun(b, nil) })
+	b.Run("fed/always", func(b *testing.B) { fedRun(b, &ctrl.PolicySpec{Policy: "always"}) })
+	b.Run("fed/tokenbucket", func(b *testing.B) {
+		fedRun(b, &ctrl.PolicySpec{Policy: "tokenbucket", Rate: 1, Period: 12, Burst: 2, MaxAttempts: 3})
 	})
 }
 

@@ -50,7 +50,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ctrl"
 	"repro/internal/daemon"
+	"repro/internal/model"
 )
 
 // app is a built daemon: the session manager plus the serving options.
@@ -132,6 +134,15 @@ func build(args []string, stderr io.Writer) (*app, error) {
 		workers  = fs.Int("workers", 0, "worker goroutines for REF/RAND parallel paths (0 = GOMAXPROCS)")
 		driver   = fs.String("ref-driver", "heap", "REF event loop: heap or scan")
 		restore  = fs.String("restore", "", "engine checkpoint file to resume the default session from")
+		admPol   = fs.String("admission", "", "default session admission policy: always | tokenbucket | backpressure (empty = no admission gate)")
+		admRate  = fs.Int64("admission-rate", 1, "token bucket: jobs admitted per period")
+		admPer   = fs.Int64("admission-period", 1, "token bucket: refill period in simulation ticks")
+		admBurst = fs.Int64("admission-burst", 1, "token bucket: burst capacity in jobs")
+		admSize  = fs.Bool("admission-size-cost", false, "token bucket: charge tokens proportional to job size")
+		admWait  = fs.Int("admission-max-waiting", 0, "backpressure: defer admissions while this many jobs wait (0 = admit only an empty queue)")
+		admRetry = fs.Int64("admission-retry-after", 1, "backpressure: ticks until a deferred admission retries")
+		admMax   = fs.Int("admission-max-attempts", 0, "admission retries before a deferred job is rejected (0 = unbounded)")
+		admStale = fs.Int64("admission-staleness", 0, "admission gate: max age of the load view decisions observe (0 = fresh)")
 		ckptDir  = fs.String("checkpoint-dir", "", "directory for session checkpoints: reloaded at boot, flushed on graceful shutdown")
 		flushInt = fs.Duration("flush-interval", 0, "background flush period for dirty sessions (0 = flush only at shutdown; needs -checkpoint-dir)")
 		pipeW    = fs.Int("pipeline-workers", 0, "async advance pipeline workers (0 = advance synchronously in the handler)")
@@ -182,6 +193,19 @@ func build(args []string, stderr io.Writer) (*app, error) {
 			Stratified:  *strat,
 			RefDriver:   *driver,
 			Workers:     *workers,
+		}
+		if *admPol != "" {
+			cfg.Admission = &ctrl.PolicySpec{
+				Policy:      *admPol,
+				Rate:        *admRate,
+				Period:      model.Time(*admPer),
+				Burst:       *admBurst,
+				SizeCost:    *admSize,
+				MaxWaiting:  *admWait,
+				RetryAfter:  model.Time(*admRetry),
+				MaxAttempts: *admMax,
+				Staleness:   model.Time(*admStale),
+			}
 		}
 		sess, err := mgr.Create(daemon.DefaultSession, cfg)
 		if err != nil {

@@ -7,6 +7,7 @@
 //	paperexp -fig7              # Figure 7: greedy utilization gap
 //	paperexp -fig2              # Figure 2: worked utility example
 //	paperexp -fed               # federated delegation-policy comparison
+//	paperexp -admission         # admission-control ablation under overload
 //	paperexp -all               # everything above
 //
 // -fed extends the evaluation toward the federated-clouds follow-up:
@@ -16,7 +17,15 @@
 // the re-delegating fedref-migrate / fairness-migrate variants tuned by
 // -fed-migration-budget), reporting offloaded fraction, federation-wide
 // value and federation-level Δψ/p_tot against the local-only routing
-// of the same instances. -fed-clusters and -fed-orgs resize the grid;
+// of the same instances.
+//
+// -admission sweeps the internal/ctrl admission-control variants
+// (always / tokenbucket / backpressure, -admission-variants) over
+// offered-load multipliers (-admission-loads), reporting admitted and
+// rejected fractions, Δψ/p_tot against the ungated run of the same
+// instance, and mean admission-decision latency; -admission-routing
+// picks the delegation policy under the gate and -admission-staleness
+// the age bound of the load view decisions observe. -fed-clusters and -fed-orgs resize the grid;
 // above 16 members FedREF's exact Shapley evaluator is infeasible and
 // the fedref-sample<N> budgets are the sampled-Shapley ablation
 // (routing quality vs estimator budget, EXPERIMENTS.md §3).
@@ -34,6 +43,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -80,13 +90,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fedMigBudget = fs.Int("fed-migration-budget", 0, "per-refresh migration cap for -migrate policies (0 = policy default, negative disables)")
 		fedClusters  = fs.Int("fed-clusters", 0, "member-cluster count for -fed (0 = scenario default; >16 forces FedREF onto the sampled estimator)")
 		fedOrgs      = fs.Int("fed-orgs", 0, "organization count for -fed (0 = scenario default)")
+
+		admTable     = fs.Bool("admission", false, "run the admission-control ablation on the federated diurnal grid")
+		admHorizon   = fs.Int64("admission-horizon", 8000, "admission ablation horizon")
+		admVariants  = fs.String("admission-variants", "always,tokenbucket,backpressure", "comma-separated admission variants for -admission")
+		admLoads     = fs.String("admission-loads", "1,1.5,2", "comma-separated offered-load multipliers for -admission")
+		admRouting   = fs.String("admission-routing", "leastloaded", "delegation policy the admission ablation routes under")
+		admStaleness = fs.Int64("admission-staleness", 0, "snapshot staleness Δt admission decisions observe (0 = fresh)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *fedTable || *all) {
+	if !(*table1 || *table2 || *fig10 || *fig7 || *fig2 || *fedTable || *admTable || *all) {
 		fs.Usage()
-		return fmt.Errorf("nothing selected (want -table1, -table2, -fig10, -fig7, -fig2, -fed or -all)")
+		return fmt.Errorf("nothing selected (want -table1, -table2, -fig10, -fig7, -fig2, -fed, -admission or -all)")
 	}
 	refDriver, err := core.ParseRefDriver(*driver)
 	if err != nil {
@@ -205,5 +222,82 @@ func run(args []string, stdout, stderr io.Writer) error {
 			cfg.Scenario.Clusters, cfg.Alg, cfg.Horizon, cfg.Staleness, cfg.Instances, *scale)))
 		fmt.Fprintln(stdout)
 	}
+	if *all || *admTable {
+		cfg := exp.DefaultAdmissionConfig()
+		if *scale != "full" {
+			cfg.Scenario.Base = cfg.Scenario.Base.Scale(0.2)
+		}
+		cfg.Horizon = model.Time(*admHorizon)
+		cfg.Instances = *instances
+		cfg.Seed = *seed
+		cfg.Alg = *fedAlg
+		cfg.Samples = *samples
+		cfg.RefOpts = refOpts
+		cfg.Workers = *workers
+		cfg.Policy = *admRouting
+		cfg.Staleness = model.Time(*admStaleness)
+		loads, err := parseLoads(*admLoads)
+		if err != nil {
+			return err
+		}
+		cfg.LoadFactors = loads
+		variants, err := pickVariants(exp.DefaultAdmissionVariants(cfg.Scenario), *admVariants)
+		if err != nil {
+			return err
+		}
+		t, err := exp.AdmissionTable(cfg, variants)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, t.Render(fmt.Sprintf(
+			"=== Admission control: %s routing, horizon %d, staleness %d, loads %s, %d instances, scale=%s ===",
+			cfg.Policy, cfg.Horizon, cfg.Staleness, *admLoads, cfg.Instances, *scale)))
+		fmt.Fprintln(stdout)
+	}
 	return nil
+}
+
+// parseLoads parses the comma-separated load-multiplier list.
+func parseLoads(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad load factor %q (want a positive number)", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no load factors in %q", s)
+	}
+	return out, nil
+}
+
+// pickVariants selects admission variants by name from the calibrated
+// defaults, preserving the order given on the command line.
+func pickVariants(all []exp.AdmissionVariant, names string) ([]exp.AdmissionVariant, error) {
+	var out []exp.AdmissionVariant
+	for _, name := range strings.Split(names, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		found := false
+		for _, v := range all {
+			if v.Name == name {
+				out = append(out, v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown admission variant %q (want always, tokenbucket or backpressure)", name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no admission variants selected")
+	}
+	return out, nil
 }

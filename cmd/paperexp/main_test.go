@@ -91,3 +91,29 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown delegation policy accepted")
 	}
 }
+
+// The admission ablation at a toy budget: every (variant × load) row
+// and metric column renders, and overload rows actually shed load.
+func TestRunAdmissionTiny(t *testing.T) {
+	out := tinyRun(t, "-admission", "-admission-horizon", "1200", "-instances", "1",
+		"-admission-loads", "1,2")
+	for _, want := range []string{"Admission control", "admit%", "reject%", "Δψ/p_tot", "t_decide",
+		"always ×1", "tokenbucket ×2", "backpressure ×2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("admission table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAdmissionRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-admission", "-admission-variants", "bogus", "-instances", "1"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown admission variant accepted")
+	}
+	if err := run([]string{"-admission", "-admission-loads", "0", "-instances", "1"}, &stdout, &stderr); err == nil {
+		t.Fatal("zero load factor accepted")
+	}
+	if err := run([]string{"-admission", "-admission-routing", "bogus", "-instances", "1"}, &stdout, &stderr); err == nil {
+		t.Fatal("unknown routing policy accepted")
+	}
+}

@@ -25,6 +25,12 @@
 //	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
 //	internal/engine   — incremental run engine: Feed/Step/Snapshot/Restore
 //	                    plus the single-run HTTP serving layer
+//	internal/ctrl     — cluster control plane: prioritized admission/
+//	                    routing event queue, pluggable admission
+//	                    policies (always-admit, per-org token bucket,
+//	                    queue-depth backpressure) and the
+//	                    bounded-staleness SnapshotProvider contract;
+//	                    gates engine.Feed and federation submission
 //	internal/fed      — federated multi-cluster scheduling: N member
 //	                    clusters, pluggable delegation policies (local,
 //	                    least-loaded, fairness-aware + pricing ablations,
@@ -45,8 +51,9 @@
 //	internal/gen      — synthetic workload families and federated
 //	                    scenario generation (arrival skew, diurnal
 //	                    phase offsets, heterogeneous sites)
-//	internal/exp      — Table 1/2, Figure 7/10 and federated delegation
-//	                    (policy × metric) experiment runners
+//	internal/exp      — Table 1/2, Figure 7/10, federated delegation
+//	                    (policy × metric) and admission-control
+//	                    (variant × load) experiment runners
 //	cmd/...           — fairsched, fairschedd (multi-session daemon),
 //	                    loadgen (serving-tier load harness), paperexp,
 //	                    tracegen, benchjson executables

@@ -1,0 +1,437 @@
+package ctrl
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestEventQueueOrder drives random pushes through the queue and checks
+// the drain order is exactly (timestamp, priority, seqID) — the
+// control-plane decomposition contract: at an instant, every arrival
+// precedes every admission verdict precedes every routing decision, and
+// ties resolve FIFO.
+func TestEventQueueOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q EventQueue
+	var pushed []Event
+	for i := 0; i < 500; i++ {
+		e := Event{
+			At:   model.Time(rng.Intn(40)),
+			Prio: uint8(rng.Intn(3)),
+			Job:  Job{Seq: int64(i)},
+		}
+		q.Push(e)
+		e.ID = int64(i) // Push assigns IDs in push order
+		pushed = append(pushed, e)
+	}
+	sort.SliceStable(pushed, func(a, b int) bool { return pushed[a].less(pushed[b]) })
+	for i, want := range pushed {
+		got, ok := q.Pop()
+		if !ok {
+			t.Fatalf("queue drained after %d of %d events", i, len(pushed))
+		}
+		if got.At != want.At || got.Prio != want.Prio || got.ID != want.ID {
+			t.Fatalf("pop %d: got (%d,%d,%d), want (%d,%d,%d)",
+				i, got.At, got.Prio, got.ID, want.At, want.Prio, want.ID)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty after draining every push")
+	}
+}
+
+// TestEventQueueInterleavedPushPop interleaves pushes with pops and
+// checks the monotonicity invariant: a popped event is never earlier
+// than the previously popped one when nothing earlier was pushed in
+// between.
+func TestEventQueueStateRoundTrip(t *testing.T) {
+	var q EventQueue
+	for i := 0; i < 20; i++ {
+		q.Push(Event{At: model.Time(20 - i), Prio: uint8(i % 3), Job: Job{Seq: int64(i)}})
+	}
+	st := q.state()
+	var r EventQueue
+	r.restore(st)
+	for q.Len() > 0 {
+		a, _ := q.Pop()
+		b, ok := r.Pop()
+		if !ok || a != b {
+			t.Fatalf("restored queue diverged: %+v vs %+v", a, b)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("restored queue has leftover events")
+	}
+}
+
+// TestTokenBucketAdmission checks the bucket's integer refill/defer
+// arithmetic: a full bucket admits a burst, an empty one defers to the
+// exact refill instant, and retrying at that instant admits.
+func TestTokenBucketAdmission(t *testing.T) {
+	b := &TokenBucket{Rate: 1, Period: 10, Burst: 2} // 1 token per 10 ticks, cap 2
+	job := Job{Org: 0, Size: 5}
+	// Fresh bucket holds Burst tokens: two admits, then a defer.
+	for i := 0; i < 2; i++ {
+		if d := b.Decide(job, 0, 0, View{}); d.Verdict != Admitted {
+			t.Fatalf("admit %d: got %v", i, d.Verdict)
+		}
+	}
+	d := b.Decide(job, 0, 0, View{})
+	if d.Verdict != Deferred {
+		t.Fatalf("third job at t=0: got %v, want deferred", d.Verdict)
+	}
+	// Empty bucket at t=0, rate 1/10: one whole token costs 10 ticks.
+	if d.RetryAt != 10 {
+		t.Fatalf("retry at %d, want 10 (one token at 1/10 per tick)", d.RetryAt)
+	}
+	// At the retry instant the token is there.
+	if d := b.Decide(job, 1, d.RetryAt, View{}); d.Verdict != Admitted {
+		t.Fatalf("retry at refill instant: got %v, want admitted", d.Verdict)
+	}
+	// Partial refill defers by the exact remainder: at t=15 the bucket
+	// holds 0.5 tokens, so the next full token lands at t=20.
+	if d := b.Decide(job, 0, 15, View{}); d.Verdict != Deferred || d.RetryAt != 20 {
+		t.Fatalf("partial refill: got %v retry %d, want deferred retry 20", d.Verdict, d.RetryAt)
+	}
+}
+
+// TestTokenBucketSizeCostRejectsOversized: with size-based cost, a job
+// larger than the bucket capacity can never fit and is rejected, not
+// deferred forever.
+func TestTokenBucketSizeCostRejectsOversized(t *testing.T) {
+	b := &TokenBucket{Rate: 1, Period: 1, Burst: 4, SizeCost: true}
+	if d := b.Decide(Job{Org: 0, Size: 3}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatalf("size 3 under cap 4: got %v", d.Verdict)
+	}
+	if d := b.Decide(Job{Org: 0, Size: 5}, 0, 0, View{}); d.Verdict != Rejected {
+		t.Fatalf("size 5 over cap 4: got %v, want rejected", d.Verdict)
+	}
+}
+
+// TestTokenBucketMaxDefers: a bounded-retry bucket rejects after the
+// configured number of defers.
+func TestTokenBucketMaxDefers(t *testing.T) {
+	b := &TokenBucket{Rate: 1, Period: 100, Burst: 1, MaxDefers: 2}
+	if d := b.Decide(Job{}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatalf("first job: %v", d.Verdict)
+	}
+	if d := b.Decide(Job{}, 1, 0, View{}); d.Verdict != Deferred {
+		t.Fatalf("attempt 1: %v, want deferred", d.Verdict)
+	}
+	if d := b.Decide(Job{}, 2, 0, View{}); d.Verdict != Rejected {
+		t.Fatalf("attempt 2 at max 2: %v, want rejected", d.Verdict)
+	}
+}
+
+// TestTokenBucketPerOrgIsolation: one organization draining its bucket
+// does not touch another's.
+func TestTokenBucketPerOrgIsolation(t *testing.T) {
+	b := &TokenBucket{Rate: 1, Period: 10, Burst: 1}
+	if d := b.Decide(Job{Org: 0}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatal("org 0 first job should admit")
+	}
+	if d := b.Decide(Job{Org: 0}, 0, 0, View{}); d.Verdict != Deferred {
+		t.Fatal("org 0 second job should defer")
+	}
+	if d := b.Decide(Job{Org: 1}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatal("org 1 must be unaffected by org 0's drained bucket")
+	}
+}
+
+// TestBackpressure checks the queue-depth policy against the observed
+// (possibly stale) load signal.
+func TestBackpressure(t *testing.T) {
+	p := Backpressure{MaxWaiting: 5, RetryAfter: 7, MaxAttempts: 3}
+	if d := p.Decide(Job{}, 0, 10, View{Load: Load{Waiting: 4}}); d.Verdict != Admitted {
+		t.Fatalf("below bound: %v", d.Verdict)
+	}
+	d := p.Decide(Job{}, 0, 10, View{Load: Load{Waiting: 5}})
+	if d.Verdict != Deferred || d.RetryAt != 17 {
+		t.Fatalf("at bound: got %v retry %d, want deferred retry 17", d.Verdict, d.RetryAt)
+	}
+	if d := p.Decide(Job{}, 3, 10, View{Load: Load{Waiting: 5}}); d.Verdict != Rejected {
+		t.Fatalf("attempt 3 of max 3: %v, want rejected", d.Verdict)
+	}
+}
+
+// TestCachedProviderZeroStalenessDirect is the staleness-contract
+// anchor: a CachedSnapshotProvider at max age 0 observes byte-
+// identically to direct state reads (DirectProvider) — fresh capture,
+// refreshed=true, on every call.
+func TestCachedProviderZeroStalenessDirect(t *testing.T) {
+	calls := 0
+	capture := func(at model.Time) View {
+		calls++
+		return View{Load: Load{Waiting: calls, Capacity: int64(at)}}
+	}
+	direct := DirectProvider{Capture: capture}
+	cached := NewCachedSnapshotProvider(capture, 0)
+	callsDirect := []int{}
+	callsCached := []int{}
+	for _, at := range []model.Time{0, 3, 3, 10, 11} {
+		calls = 0
+		v1, r1 := direct.Observe(at)
+		callsDirect = append(callsDirect, calls)
+		calls = 0
+		v2, r2 := cached.Observe(at)
+		callsCached = append(callsCached, calls)
+		if !reflect.DeepEqual(v1, v2) || r1 != r2 {
+			t.Fatalf("at %d: direct (%+v,%v) != cached@0 (%+v,%v)", at, v1, r1, v2, r2)
+		}
+	}
+	if !reflect.DeepEqual(callsDirect, callsCached) {
+		t.Fatalf("capture call counts diverge: direct %v, cached@0 %v", callsDirect, callsCached)
+	}
+}
+
+// TestCachedProviderStaleness: with max age Δt the provider reuses a
+// view until it is at least Δt old, then refreshes, and SetMaxAge
+// invalidates only on change.
+func TestCachedProviderStaleness(t *testing.T) {
+	captures := 0
+	p := NewCachedSnapshotProvider(func(at model.Time) View {
+		captures++
+		return View{Load: Load{Waiting: captures}}
+	}, 10)
+	v, refreshed := p.Observe(0)
+	if !refreshed || v.TakenAt != 0 {
+		t.Fatalf("first observe: refreshed=%v taken=%d", refreshed, v.TakenAt)
+	}
+	if v, refreshed = p.Observe(9); refreshed || v.TakenAt != 0 {
+		t.Fatalf("age 9 < 10 must reuse: refreshed=%v taken=%d", refreshed, v.TakenAt)
+	}
+	if v, refreshed = p.Observe(10); !refreshed || v.TakenAt != 10 {
+		t.Fatalf("age 10 >= 10 must refresh: refreshed=%v taken=%d", refreshed, v.TakenAt)
+	}
+	if captures != 2 {
+		t.Fatalf("capture ran %d times, want 2", captures)
+	}
+	p.SetMaxAge(10) // unchanged: cache survives
+	if _, refreshed = p.Observe(11); refreshed {
+		t.Fatal("SetMaxAge to the current value must not invalidate")
+	}
+	p.SetMaxAge(20) // changed: cache dropped
+	if _, refreshed = p.Observe(11); !refreshed {
+		t.Fatal("SetMaxAge to a new value must invalidate")
+	}
+}
+
+// planeSink collects routed jobs and refresh edges.
+type planeSink struct {
+	routed    []Job
+	routedAt  []model.Time
+	refreshes []model.Time
+	fail      error
+}
+
+func (s *planeSink) Route(job Job, t model.Time, _ View) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	s.routed = append(s.routed, job)
+	s.routedAt = append(s.routedAt, t)
+	return nil
+}
+
+func (s *planeSink) Refreshed(t model.Time, _ View) error {
+	s.refreshes = append(s.refreshes, t)
+	return nil
+}
+
+func directLoadProvider() SnapshotProvider {
+	return DirectProvider{Capture: func(model.Time) View { return View{} }}
+}
+
+// TestPlaneAlwaysAdmitRoutesEverything: the arrival→admission→routing
+// chain resolves same-instant and in arrival order under AlwaysAdmit,
+// and the conservation law holds.
+func TestPlaneAlwaysAdmitRoutesEverything(t *testing.T) {
+	p := NewPlane(AlwaysAdmit{}, directLoadProvider(), 2)
+	var sink planeSink
+	for i := 0; i < 5; i++ {
+		p.Arrive(Job{Seq: -1, Org: i % 2, Size: 3}, model.Time(10*i)) // Seq assigned by the plane
+	}
+	if err := p.Advance(100, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.routed) != 5 {
+		t.Fatalf("routed %d of 5 jobs", len(sink.routed))
+	}
+	for i, job := range sink.routed {
+		if job.Seq != int64(i) {
+			t.Fatalf("route %d carries seq %d — arrival order violated", i, job.Seq)
+		}
+		if sink.routedAt[i] != model.Time(10*i) {
+			t.Fatalf("job %d routed at %d, want its arrival instant %d", i, sink.routedAt[i], 10*i)
+		}
+	}
+	st := p.Stats()
+	if st.TotalReleased() != 5 || st.TotalAdmitted() != 5 || st.TotalRejected() != 0 || st.TotalDeferred() != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.LatencyMax != 0 {
+		t.Fatalf("always-admit decisions are same-instant; latency max %d", st.LatencyMax)
+	}
+}
+
+// TestPlaneTokenBucketDefersAndConserves: an overload burst against a
+// slow bucket admits what the rate allows, defers the rest to exact
+// refill instants, and the counters conserve at every quiescent point.
+func TestPlaneTokenBucketDefersAndConserves(t *testing.T) {
+	p := NewPlane(&TokenBucket{Rate: 1, Period: 10, Burst: 1}, directLoadProvider(), 1)
+	var sink planeSink
+	for i := 0; i < 4; i++ {
+		p.Arrive(Job{Seq: -1, Org: 0, Size: 1}, 0) // burst of 4 at t=0 against 1 token + 1/10 rate
+	}
+	if err := p.Advance(0, &sink); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.TotalAdmitted() != 1 || st.TotalDeferred() != 3 {
+		t.Fatalf("at t=0: admitted %d deferred %d, want 1/3", st.TotalAdmitted(), st.TotalDeferred())
+	}
+	// Deferred retries land at refill instants; drain far enough and
+	// everything eventually admits, one per refill.
+	if err := p.Advance(1000, &sink); err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalAdmitted() != 4 || st.TotalDeferred() != 0 || st.TotalRejected() != 0 {
+		t.Fatalf("after drain: %+v", st)
+	}
+	if len(sink.routed) != 4 {
+		t.Fatalf("routed %d of 4", len(sink.routed))
+	}
+	if st.LatencySum == 0 || st.LatencyMax == 0 {
+		t.Fatal("deferred admissions must accrue decision latency")
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("%d events left after drain", p.Pending())
+	}
+}
+
+// TestPlaneDeterminismAndCheckpoint: a plane advanced in two halves
+// with a State/RestoreState round-trip in between matches an
+// uninterrupted run event for event.
+func TestPlaneDeterminismAndCheckpoint(t *testing.T) {
+	build := func() *Plane {
+		return NewPlane(&TokenBucket{Rate: 1, Period: 7, Burst: 2, SizeCost: true}, directLoadProvider(), 3)
+	}
+	feed := func(p *Plane) {
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 40; i++ {
+			p.Arrive(Job{Seq: -1, Org: rng.Intn(3), Size: model.Time(1 + rng.Intn(4))}, model.Time(rng.Intn(50)))
+		}
+	}
+	// Uninterrupted run.
+	a := build()
+	feed(a)
+	var sa planeSink
+	if err := a.Advance(25, &sa); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Advance(1000, &sa); err != nil {
+		t.Fatal(err)
+	}
+	// Checkpointed run: same feed, snapshot mid-flight (deferred events
+	// pending), restore into a fresh plane, continue.
+	b := build()
+	feed(b)
+	var sb planeSink
+	if err := b.Advance(25, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if b.Pending() == 0 {
+		t.Fatal("test needs pending control events at the checkpoint")
+	}
+	st, err := b.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := build()
+	if err := c.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Advance(1000, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sa.routed, sb.routed) || !reflect.DeepEqual(sa.routedAt, sb.routedAt) {
+		t.Fatal("checkpointed run routed differently from uninterrupted run")
+	}
+	if !reflect.DeepEqual(a.Stats(), c.Stats()) {
+		t.Fatalf("stats diverged:\n%+v\n%+v", a.Stats(), c.Stats())
+	}
+}
+
+// TestPlaneRestoreRejectsMismatchedPolicy: checkpoints name their
+// admission policy and refuse to restore under a different one.
+func TestPlaneRestoreRejectsMismatchedPolicy(t *testing.T) {
+	p := NewPlane(AlwaysAdmit{}, directLoadProvider(), 1)
+	st, err := p.State()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPlane(&TokenBucket{Rate: 1, Period: 1, Burst: 1}, directLoadProvider(), 1)
+	if err := q.RestoreState(st); err == nil {
+		t.Fatal("restoring an always-admit checkpoint into a token-bucket plane must fail")
+	}
+}
+
+// TestPlaneRejectsStuckDefer: a policy deferring without advancing time
+// is an error, not a wedge.
+type stuckPolicy struct{ AlwaysAdmit }
+
+func (stuckPolicy) Name() string { return "stuck" }
+func (stuckPolicy) Decide(_ Job, _ int, now model.Time, _ View) Decision {
+	return Decision{Verdict: Deferred, RetryAt: now}
+}
+
+func TestPlaneRejectsStuckDefer(t *testing.T) {
+	p := NewPlane(stuckPolicy{}, directLoadProvider(), 1)
+	p.Arrive(Job{Seq: -1}, 0)
+	if err := p.Advance(10, &planeSink{}); err == nil {
+		t.Fatal("same-instant defer must surface as an error")
+	}
+}
+
+// TestPolicySpecBuild round-trips the serializable specs.
+func TestPolicySpecBuild(t *testing.T) {
+	cases := []struct {
+		spec PolicySpec
+		name string
+		ok   bool
+	}{
+		{PolicySpec{}, "always", true},
+		{PolicySpec{Policy: "always"}, "always", true},
+		{PolicySpec{Policy: "tokenbucket", Rate: 2, Period: 5, Burst: 10}, "tokenbucket", true},
+		{PolicySpec{Policy: "tokenbucket"}, "", false},
+		{PolicySpec{Policy: "backpressure", MaxWaiting: 8}, "backpressure", true},
+		{PolicySpec{Policy: "backpressure"}, "", false},
+		{PolicySpec{Policy: "nonsense"}, "", false},
+	}
+	for i, c := range cases {
+		p, err := c.spec.Build()
+		if c.ok && (err != nil || p.Name() != c.name) {
+			t.Fatalf("case %d: got (%v, %v), want policy %q", i, p, err, c.name)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("case %d: expected a build error", i)
+		}
+	}
+}
+
+// TestVerdictString covers the diagnostic formatting.
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{Admitted: "admitted", Rejected: "rejected", Deferred: "deferred"} {
+		if got := v.String(); got != want {
+			t.Fatalf("%d: %q != %q", v, got, want)
+		}
+	}
+	if got := Verdict(9).String(); got != fmt.Sprintf("verdict(%d)", 9) {
+		t.Fatalf("unknown verdict formatted as %q", got)
+	}
+}

@@ -32,9 +32,11 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/ctrl"
 	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/fed"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -78,6 +80,14 @@ type SessionConfig struct {
 	// (fed.WithMigrationBudget semantics); it is ignored for policies
 	// that never migrate.
 	MigrationBudget int `json:"migration_budget,omitempty"`
+
+	// Admission, when set, installs an internal/ctrl admission control
+	// plane in front of the session: releases decompose into prioritized
+	// arrival → admission → routing events and only admitted jobs reach
+	// the schedule (engine gate for single runs, federation control
+	// plane for federated ones). Spec.Staleness bounds the age of the
+	// load view admission decisions observe.
+	Admission *ctrl.PolicySpec `json:"admission,omitempty"`
 
 	// Shared algorithm options.
 	Seed        int64  `json:"seed,omitempty"`
@@ -215,6 +225,9 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		s.eng = engine.New(alg, inst, cfg.Seed)
+		if err := s.eng.SetAdmission(cfg.Admission); err != nil {
+			return nil, err
+		}
 	case KindFederation:
 		specs, err := cfg.fedSpecs()
 		if err != nil {
@@ -229,6 +242,9 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		f.SetStaleness(cfg.Staleness)
+		if err := f.SetAdmission(cfg.Admission); err != nil {
+			return nil, err
+		}
 		s.fedn = f
 	default:
 		return nil, fmt.Errorf("daemon: unknown session kind %q (want %q or %q)", cfg.Kind, KindSingle, KindFederation)
@@ -408,6 +424,30 @@ type StateReply struct {
 	Offloaded   int64          `json:"offloaded,omitempty"`
 	Migrations  int64          `json:"migrations,omitempty"`
 	Clusters    []ClusterState `json:"clusters,omitempty"`
+	Admission   *AdmissionState `json:"admission,omitempty"`
+}
+
+// AdmissionState is the admission-control section of a StateReply,
+// present only when the session runs an admission control plane. Stats
+// carries the per-organization counters, which obey the conservation
+// law admitted + rejected + deferred == released at every quiescent
+// instant.
+type AdmissionState struct {
+	Policy string                  `json:"policy"`
+	Stats  *metrics.AdmissionStats `json:"stats"`
+}
+
+// admissionState builds the StateReply section from a live plane's
+// accounting (nil stats means the plane is off).
+func admissionState(spec *ctrl.PolicySpec, st *metrics.AdmissionStats) *AdmissionState {
+	if st == nil {
+		return nil
+	}
+	name := spec.Policy
+	if name == "" {
+		name = "always"
+	}
+	return &AdmissionState{Policy: name, Stats: st.Clone()}
 }
 
 // State evaluates the session at its current clock.
@@ -431,6 +471,7 @@ func (s *Session) State() StateReply {
 		if next := s.eng.NextEventTime(); next != sim.MaxTime {
 			reply.NextEvent = &next
 		}
+		reply.Admission = admissionState(s.eng.Admission(), s.eng.AdmissionStats())
 		return reply
 	}
 	l := s.fedn.Ledger()
@@ -450,6 +491,7 @@ func (s *Session) State() StateReply {
 	if next := s.fedn.NextEventTime(); next != sim.MaxTime {
 		reply.NextEvent = &next
 	}
+	reply.Admission = admissionState(s.fedn.Admission(), s.fedn.AdmissionStats())
 	for c, m := range s.fedn.Members() {
 		eng := m.Engine()
 		reply.Clusters = append(reply.Clusters, ClusterState{
@@ -531,7 +573,17 @@ func (s *Session) restoreLocked(data []byte) error {
 		if err != nil {
 			return err
 		}
-		restored, err := engine.Restore(alg, data)
+		var (
+			restored *engine.Engine
+		)
+		// A gated configuration captured a gated envelope; restore
+		// through the matching entry point (each rejects the other's
+		// format, so a config/snapshot mismatch fails loudly here).
+		if s.cfg.Admission != nil {
+			restored, err = engine.RestoreGated(alg, data)
+		} else {
+			restored, err = engine.Restore(alg, data)
+		}
 		if err != nil {
 			return err
 		}

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/ctrl"
 	"repro/internal/daemon"
 	"repro/internal/model"
 )
@@ -454,4 +455,190 @@ func TestFederationSessionStaleness(t *testing.T) {
 	if again := run(200); !sameState(stale, again) {
 		t.Fatal("stale-gossip session not deterministic")
 	}
+}
+
+// gatedSingleCfg is singleCfg squeezed to one machine behind a token
+// bucket: the overload serving configuration.
+func gatedSingleCfg() daemon.SessionConfig {
+	cfg := singleCfg()
+	cfg.Orgs = 2
+	cfg.Machines = 1
+	cfg.Admission = &ctrl.PolicySpec{Policy: "tokenbucket", Rate: 1, Period: 8, Burst: 1, MaxAttempts: 2, Staleness: 10}
+	return cfg
+}
+
+// gatedFedCfg is fedCfg with a backpressure control plane in front of
+// the federation's routing.
+func gatedFedCfg() daemon.SessionConfig {
+	cfg := fedCfg()
+	cfg.Admission = &ctrl.PolicySpec{Policy: "backpressure", MaxWaiting: 3, RetryAfter: 5, MaxAttempts: 4}
+	cfg.Staleness = 20
+	return cfg
+}
+
+// overloadJobs is 40 size-4 submissions, alternating orgs, every 2
+// ticks — 2× a single machine's service rate.
+func overloadJobs(cluster int) []daemon.JobSubmission {
+	var jobs []daemon.JobSubmission
+	for i := 0; i < 40; i++ {
+		jobs = append(jobs, daemon.JobSubmission{Cluster: cluster, Org: i % 2, Size: 4, Release: timePtr(model.Time(2 * i))})
+	}
+	return jobs
+}
+
+// checkAdmissionReply asserts a StateReply surfaces a conserved
+// admission section for the expected policy.
+func checkAdmissionReply(t *testing.T, reply daemon.StateReply, policy string) *daemon.AdmissionState {
+	t.Helper()
+	adm := reply.Admission
+	if adm == nil {
+		t.Fatalf("gated session state carries no admission section: %+v", reply)
+	}
+	if adm.Policy != policy {
+		t.Fatalf("admission policy %q in state, want %q", adm.Policy, policy)
+	}
+	if err := adm.Stats.CheckConserved(); err != nil {
+		t.Fatal(err)
+	}
+	return adm
+}
+
+// TestAdmissionSessions drives a token-bucket-gated single session and
+// a backpressure-gated federated session through overload, asserting
+// the per-org conservation law surfaces through StateReply, survives a
+// mid-round flush/reload with deferred admissions pending, and that
+// reloaded sessions continue deterministically.
+func TestAdmissionSessions(t *testing.T) {
+	mgr := daemon.NewManager()
+	solo, err := mgr.Create("solo", gatedSingleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := mgr.Create("fleet", gatedFedCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.Submit(overloadJobs(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.Submit(overloadJobs(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Land mid-round: deferred admissions pending in the gated engine.
+	if _, _, err := solo.Advance(timePtr(45)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fleet.Advance(timePtr(45)); err != nil {
+		t.Fatal(err)
+	}
+	adm := checkAdmissionReply(t, solo.State(), "tokenbucket")
+	if adm.Stats.TotalDeferred() == 0 {
+		t.Fatal("flush instant carries no deferred admissions — the test is not exercising mid-round state")
+	}
+	checkAdmissionReply(t, fleet.State(), "backpressure")
+
+	// Flush the live control planes and reload them elsewhere.
+	dir := filepath.Join(t.TempDir(), "ckpts")
+	if _, err := mgr.FlushAll(dir); err != nil {
+		t.Fatal(err)
+	}
+	reborn := daemon.NewManager()
+	ids, quarantined, err := reborn.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 0 || len(ids) != 2 {
+		t.Fatalf("reload: ids=%v quarantined=%v", ids, quarantined)
+	}
+
+	// Both daemons drain the stream; the reloaded sessions must match
+	// the originals state-for-state, admission counters included.
+	for _, name := range []string{"solo", "fleet"} {
+		orig, _ := mgr.Get(name)
+		loaded, ok := reborn.Get(name)
+		if !ok {
+			t.Fatalf("session %q not reloaded", name)
+		}
+		if !sameState(orig.State(), loaded.State()) {
+			t.Fatalf("%s: reloaded state differs:\n%s\n%s", name, mustJSON(t, orig.State()), mustJSON(t, loaded.State()))
+		}
+		if _, _, err := orig.Advance(timePtr(400)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := loaded.Advance(timePtr(400)); err != nil {
+			t.Fatal(err)
+		}
+		if !sameState(orig.State(), loaded.State()) {
+			t.Fatalf("%s: post-reload run diverged:\n%s\n%s", name, mustJSON(t, orig.State()), mustJSON(t, loaded.State()))
+		}
+	}
+
+	// After the full drain the overloaded single session shed load:
+	// rejects happened, nothing is left deferred, and the law holds.
+	adm = checkAdmissionReply(t, solo.State(), "tokenbucket")
+	if adm.Stats.TotalReleased() != 40 {
+		t.Fatalf("released %d, submitted 40", adm.Stats.TotalReleased())
+	}
+	if adm.Stats.TotalRejected() == 0 || adm.Stats.TotalAdmitted() == 0 {
+		t.Fatalf("overload shed nothing or everything: %+v", adm.Stats)
+	}
+	if adm.Stats.TotalDeferred() != 0 {
+		t.Fatalf("%d jobs still deferred after a full drain", adm.Stats.TotalDeferred())
+	}
+	fadm := checkAdmissionReply(t, fleet.State(), "backpressure")
+	if fadm.Stats.TotalReleased() != 40 {
+		t.Fatalf("federation released %d, submitted 40", fadm.Stats.TotalReleased())
+	}
+
+	// Ungated sessions carry no admission section.
+	plain, err := mgr.Create("plain", singleCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.State().Admission != nil {
+		t.Fatal("ungated session state carries an admission section")
+	}
+}
+
+// TestAdmissionSessionHTTP: the admission section and its conservation
+// law are visible through the HTTP state endpoint, and gated sessions
+// are creatable over the wire.
+func TestAdmissionSessionHTTP(t *testing.T) {
+	a := newAPI(t)
+	a.do("POST", "/v1/sessions", `{"id":"gated",`+mustJSON(t, gatedSingleCfg())[1:], http.StatusCreated)
+	var subs []string
+	for i := 0; i < 20; i++ {
+		subs = append(subs, fmt.Sprintf(`{"org":%d,"size":4,"release":%d}`, i%2, 2*i))
+	}
+	a.do("POST", "/v1/sessions/gated/jobs", `{"jobs":[`+strings.Join(subs, ",")+`]}`, http.StatusOK)
+	a.do("POST", "/v1/sessions/gated/advance", `{"until":300}`, http.StatusOK)
+	state := a.do("GET", "/v1/sessions/gated/state", "", http.StatusOK)
+	admAny, ok := state["admission"].(map[string]any)
+	if !ok {
+		t.Fatalf("state reply carries no admission object: %v", state)
+	}
+	if admAny["policy"] != "tokenbucket" {
+		t.Fatalf("admission policy over the wire: %v", admAny["policy"])
+	}
+	stats := admAny["stats"].(map[string]any)
+	sumOf := func(key string) float64 {
+		var total float64
+		for _, v := range stats[key].([]any) {
+			total += v.(float64)
+		}
+		return total
+	}
+	released, admitted, rejected, deferred := sumOf("released"), sumOf("admitted"), sumOf("rejected"), sumOf("deferred")
+	if released != 20 || admitted+rejected+deferred != released {
+		t.Fatalf("wire counters violate conservation: released %v = %v admitted + %v rejected + %v deferred",
+			released, admitted, rejected, deferred)
+	}
+	if rejected == 0 {
+		t.Fatalf("token bucket rejected nothing under 2x overload: %v", stats)
+	}
+
+	// A bad admission spec fails session creation with a client error.
+	a.do("POST", "/v1/sessions", `{"id":"bad","kind":"single","admission":{"policy":"tokenbucket","rate":0}}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions", `{"id":"worse","kind":"single","admission":{"policy":"nope"}}`, http.StatusBadRequest)
 }

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ctrl"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -36,6 +37,13 @@ type Engine struct {
 	now      model.Time
 	reported int   // starts already handed out by Step
 	feedIDs  []int // scratch for Feed's returned IDs, reused per call
+
+	// Optional admission gate (see gate.go). When nil — the default —
+	// Feed and Step take the direct zero-allocation paths unchanged.
+	plane        *ctrl.Plane
+	admission    *ctrl.PolicySpec
+	gateProvider *ctrl.CachedSnapshotProvider
+	gateID       [1]int // scratch for gateSink injections
 }
 
 // New starts an incremental run of alg on inst. The engine takes
@@ -58,9 +66,19 @@ func (e *Engine) Seed() int64 { return e.seed }
 func (e *Engine) Instance() *model.Instance { return e.s.Instance() }
 
 // NextEventTime returns the earliest pending event across every
-// schedule the algorithm maintains, or sim.MaxTime when none remains
-// (the run is drained until more jobs are fed).
-func (e *Engine) NextEventTime() model.Time { return e.s.NextEventTime() }
+// schedule the algorithm maintains — including, on a gated engine,
+// pending control events (queued arrivals and deferred admission
+// retries) — or sim.MaxTime when none remains (the run is drained
+// until more jobs are fed).
+func (e *Engine) NextEventTime() model.Time {
+	next := e.s.NextEventTime()
+	if e.plane != nil {
+		if t, ok := e.plane.NextEventTime(); ok && t < next {
+			next = t
+		}
+	}
+	return next
+}
 
 // Feed injects newly arrived jobs into the running simulation. Job IDs
 // are assigned by the engine (callers leave Job.ID zero); each job must
@@ -87,6 +105,17 @@ func (e *Engine) Feed(jobs []model.Job) ([]int, error) {
 		}
 	}
 	e.feedIDs = e.feedIDs[:0]
+	if e.plane != nil {
+		// Gated path: jobs become ArrivalEvents at their release
+		// instants; injection happens when the control plane admits them
+		// (drainGate). The returned IDs are admission sequence numbers,
+		// not instance job IDs — a gated job may never get one.
+		for _, j := range jobs {
+			seq := e.plane.Arrive(ctrl.Job{Seq: -1, Org: j.Org, Size: j.Size, Release: j.Release}, j.Release)
+			e.feedIDs = append(e.feedIDs, int(seq))
+		}
+		return e.feedIDs, nil
+	}
 	for _, j := range jobs {
 		j.ID = len(inst.Jobs)
 		e.feedIDs = append(e.feedIDs, j.ID)
@@ -133,21 +162,33 @@ func (e *Engine) Step(until model.Time) ([]sim.Start, error) {
 	if until < e.now {
 		return nil, fmt.Errorf("engine: step to %d before engine time %d", until, e.now)
 	}
-	for e.s.StepNext(until) {
+	if e.plane != nil {
+		if err := e.drainGate(until); err != nil {
+			return nil, err
+		}
 	}
-	e.s.FinishAt(until)
-	e.now = until
+	e.advanceTo(until)
 	all := e.s.Starts()
 	fresh := all[e.reported:]
 	e.reported = len(all)
 	return fresh, nil
 }
 
+// advanceTo is the core stepping loop Step and the admission gate
+// share: process every schedule event at or before until and land the
+// clock on it.
+func (e *Engine) advanceTo(until model.Time) {
+	for e.s.StepNext(until) {
+	}
+	e.s.FinishAt(until)
+	e.now = until
+}
+
 // StepToNextEvent advances to the next pending event instant, if one
 // exists, and returns its decisions. The second result reports whether
 // an event existed.
 func (e *Engine) StepToNextEvent() ([]sim.Start, bool, error) {
-	t := e.s.NextEventTime()
+	t := e.NextEventTime()
 	if t == sim.MaxTime {
 		return nil, false, nil
 	}
@@ -212,13 +253,22 @@ func (e *Engine) Result() *core.Result { return e.s.ResultAt(e.now) }
 
 // Snapshot serializes the run's complete deterministic state as JSON.
 // Restoring it — in this process or another — resumes the run
-// byte-identically: same future decisions, same ψ and φ.
+// byte-identically: same future decisions, same ψ and φ. An ungated
+// engine emits a bare core checkpoint (Restore); a gated one wraps it
+// in the control-plane envelope (RestoreGated).
 func (e *Engine) Snapshot() ([]byte, error) {
 	cp, err := e.s.Capture(e.now)
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(cp)
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		return nil, err
+	}
+	if e.plane != nil {
+		return e.snapshotGated(raw)
+	}
+	return raw, nil
 }
 
 // Restore rebuilds an engine from a Snapshot. The algorithm

@@ -1,0 +1,79 @@
+package exp
+
+import (
+	"testing"
+
+	"repro/internal/ctrl"
+)
+
+// tinyAdmissionConfig shrinks the ablation to smoke-test size.
+func tinyAdmissionConfig() AdmissionConfig {
+	cfg := DefaultAdmissionConfig()
+	cfg.Scenario.Base = cfg.Scenario.Base.Scale(0.15)
+	cfg.Horizon = 1500
+	cfg.Instances = 2
+	cfg.LoadFactors = []float64{1, 2}
+	return cfg
+}
+
+// TestAdmissionTable: the ablation renders every (variant × load) row,
+// the shares are sane percentages, the ungated baseline admits
+// everything, and the calibrated token bucket sheds load at 2×.
+func TestAdmissionTable(t *testing.T) {
+	cfg := tinyAdmissionConfig()
+	variants := DefaultAdmissionVariants(cfg.Scenario)
+	tab, err := AdmissionTable(cfg, variants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lf := range cfg.LoadFactors {
+		for _, v := range variants {
+			row := admissionRow(v.Name, lf)
+			admit := tab.Get(AdmMetricAdmit, row)
+			reject := tab.Get(AdmMetricReject, row)
+			if admit == nil || reject == nil {
+				t.Fatalf("row %q missing", row)
+			}
+			if admit.Mean < 0 || admit.Mean > 100 || reject.Mean < 0 || reject.Mean > 100 {
+				t.Fatalf("row %q: shares out of range: admit %v reject %v", row, admit.Mean, reject.Mean)
+			}
+		}
+	}
+	if got := tab.Get(AdmMetricAdmit, admissionRow("always", 1)).Mean; got != 100 {
+		t.Fatalf("ungated baseline admitted %v%%, want 100", got)
+	}
+	if got := tab.Get(AdmMetricReject, admissionRow("tokenbucket", 2)).Mean; got <= 0 {
+		t.Fatalf("token bucket rejected %v%% at 2x overload, want > 0", got)
+	}
+	if got := tab.Get(AdmMetricDelta, admissionRow("always", 1)).Mean; got != 0 {
+		t.Fatalf("baseline unfairness vs itself is %v, want 0", got)
+	}
+}
+
+// TestAdmissionTableValidation covers the error surface.
+func TestAdmissionTableValidation(t *testing.T) {
+	cfg := tinyAdmissionConfig()
+	good := DefaultAdmissionVariants(cfg.Scenario)
+	if _, err := AdmissionTable(cfg, nil); err == nil {
+		t.Fatal("no variants accepted")
+	}
+	bad := cfg
+	bad.LoadFactors = nil
+	if _, err := AdmissionTable(bad, good); err == nil {
+		t.Fatal("no load factors accepted")
+	}
+	bad = cfg
+	bad.LoadFactors = []float64{-1}
+	if _, err := AdmissionTable(bad, good); err == nil {
+		t.Fatal("negative load factor accepted")
+	}
+	bad = cfg
+	bad.Policy = "bogus"
+	if _, err := AdmissionTable(bad, good); err == nil {
+		t.Fatal("unknown routing policy accepted")
+	}
+	broken := []AdmissionVariant{{Name: "x", Spec: ctrl.PolicySpec{Policy: "tokenbucket", Rate: 0}}}
+	if _, err := AdmissionTable(cfg, broken); err == nil {
+		t.Fatal("unbuildable variant accepted")
+	}
+}

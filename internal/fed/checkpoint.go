@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/ctrl"
 	"repro/internal/engine"
 	"repro/internal/model"
 )
@@ -11,8 +12,10 @@ import (
 // CheckpointVersion identifies the serialized federation checkpoint
 // layout. Member engine snapshots carry their own core.CheckpointVersion.
 // Version 2 added the migration bookkeeping: per-member origin columns
-// and the ledger's Migrated/MigratedWork matrices.
-const CheckpointVersion = 2
+// and the ledger's Migrated/MigratedWork matrices. Version 3 added the
+// control plane: the admission spec and the plane's serialized state
+// (event queue, policy state, per-organization admission counters).
+const CheckpointVersion = 3
 
 // Checkpoint is the complete serializable state of a federation: the
 // routing layer (pending queue, sequence counter, ledger counters,
@@ -35,11 +38,20 @@ type Checkpoint struct {
 	// Summary-gossip staleness state: the knob itself and, when a
 	// cached exchange snapshot is live, the snapshot and its timestamp —
 	// restoring mid-gossip-period must route on the same stale view an
-	// uninterrupted run would.
+	// uninterrupted run would. The cached view lives in the snapshot
+	// provider; it is persisted here (not in Ctrl) because only the
+	// federation knows its payload type.
 	Staleness model.Time `json:"staleness,omitempty"`
 	ExAt      model.Time `json:"ex_at,omitempty"`
 	ExSums    []Summary  `json:"ex_sums,omitempty"`
 	ExRouted  [][]int64  `json:"ex_routed,omitempty"`
+
+	// Control-plane state: the admission spec that was installed and the
+	// plane's serialized dynamic state (pending control events including
+	// deferred retries, mutable policy state, admission counters). Both
+	// empty when the plane is off.
+	Admission *ctrl.PolicySpec `json:"admission,omitempty"`
+	Ctrl      json.RawMessage  `json:"ctrl,omitempty"`
 }
 
 // MemberCheckpoint is one member cluster's state: identity, machine
@@ -67,12 +79,21 @@ func (f *Federation) Snapshot() ([]byte, error) {
 		Pending:   f.pending,
 		Decs:      f.decs,
 		Ledger:    f.Ledger(),
-		Staleness: f.staleness,
+		Staleness: f.provider.MaxAge(),
+		Admission: f.admission,
 	}
-	if f.exValid {
-		cp.ExAt = f.exAt
-		cp.ExSums = f.exSums
-		cp.ExRouted = f.exRouted
+	if v, ok := f.provider.Cached(); ok {
+		ex := v.Payload.(*exchange)
+		cp.ExAt = v.TakenAt
+		cp.ExSums = ex.Sums
+		cp.ExRouted = ex.Routed
+	}
+	if f.plane != nil {
+		st, err := f.plane.State()
+		if err != nil {
+			return nil, fmt.Errorf("fed: snapshot control plane: %w", err)
+		}
+		cp.Ctrl = st
 	}
 	for i, m := range f.members {
 		snap, err := m.eng.Snapshot()
@@ -127,17 +148,17 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 		return nil, fmt.Errorf("fed: restore: %w", err)
 	}
 	f := &Federation{
-		orgs:      append([]string(nil), orgs...),
-		policy:    policy,
-		seed:      cp.Seed,
-		now:       cp.Now,
-		nextSeq:   cp.NextSeq,
-		pending:   cp.Pending,
-		decs:      cp.Decs,
-		reported:  len(cp.Decs),
-		ledger:    cp.Ledger,
-		staleness: cp.Staleness,
+		orgs:     append([]string(nil), orgs...),
+		policy:   policy,
+		seed:     cp.Seed,
+		now:      cp.Now,
+		nextSeq:  cp.NextSeq,
+		pending:  cp.Pending,
+		decs:     cp.Decs,
+		reported: len(cp.Decs),
+		ledger:   cp.Ledger,
 	}
+	f.provider = ctrl.NewCachedSnapshotProvider(f.captureExchange, cp.Staleness)
 	if len(cp.ExSums) > 0 {
 		if len(cp.ExSums) != len(specs) {
 			return nil, fmt.Errorf("fed: restore: exchange snapshot has %d summaries for %d clusters",
@@ -157,10 +178,28 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 				}
 			}
 		}
-		f.exValid = true
-		f.exAt = cp.ExAt
-		f.exSums = cp.ExSums
-		f.exRouted = cp.ExRouted
+		// Re-prime the provider's cache: a run restored mid-staleness-
+		// period keeps deciding on the same aged view an uninterrupted
+		// run would. The Load column is a pure function of the summaries,
+		// so it is recomputed rather than persisted.
+		f.provider.Prime(ctrl.View{
+			TakenAt: cp.ExAt,
+			Load:    loadOf(cp.ExSums),
+			Payload: &exchange{Sums: cp.ExSums, Routed: cp.ExRouted},
+		})
+	}
+	if cp.Admission != nil {
+		if err := f.SetAdmission(cp.Admission); err != nil {
+			return nil, fmt.Errorf("fed: restore: %w", err)
+		}
+		if len(cp.Ctrl) == 0 {
+			return nil, fmt.Errorf("fed: restore: checkpoint names admission policy %q but carries no control-plane state", cp.Admission.Policy)
+		}
+		if err := f.plane.RestoreState(cp.Ctrl); err != nil {
+			return nil, fmt.Errorf("fed: restore: %w", err)
+		}
+	} else if len(cp.Ctrl) > 0 {
+		return nil, fmt.Errorf("fed: restore: checkpoint carries control-plane state but no admission spec")
 	}
 	for i, spec := range specs {
 		mc := cp.Members[i]

@@ -38,7 +38,9 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ctrl"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/sim"
 )
@@ -115,17 +117,52 @@ type Federation struct {
 	reported int
 	ledger   *Ledger
 
-	// Summary gossip staleness: with staleness 0 (the default, the
-	// idealized lockstep model) the exchange snapshot — member summaries
-	// plus the routed-work matrix — is taken fresh at every release
-	// instant; with staleness Δt > 0 the cached snapshot is reused until
-	// it is at least Δt old, modeling periodic gossip. The cache is part
-	// of the deterministic state and rides in checkpoints.
-	staleness model.Time
-	exValid   bool
-	exAt      model.Time
-	exSums    []Summary
-	exRouted  [][]int64
+	// provider is the staleness contract for every observation routing
+	// and admission act on: with max age 0 (the default, the idealized
+	// lockstep model) the exchange snapshot — member summaries plus the
+	// routed-work matrix — is captured fresh at every decision instant;
+	// with max age Δt > 0 the cached snapshot is reused until it is at
+	// least Δt old, modeling periodic gossip. The cache is part of the
+	// deterministic state and rides in checkpoints.
+	provider *ctrl.CachedSnapshotProvider
+
+	// Optional admission control plane. When nil (the default), releases
+	// route directly — the pre-control-plane data path, kept verbatim.
+	// When set, every release decomposes into prioritized
+	// arrival→admission→routing events driven through the plane, and
+	// only admitted jobs reach the members.
+	plane     *ctrl.Plane
+	admission *ctrl.PolicySpec
+}
+
+// exchange is the federation's observation payload: what one summary
+// gossip carries. It rides in ctrl.View.Payload and, for checkpoints,
+// in the ExSums/ExRouted fields.
+type exchange struct {
+	Sums   []Summary
+	Routed [][]int64
+}
+
+// captureExchange is the federation's ctrl.CaptureFunc: a fresh
+// observation of every member at instant t. The routed-work matrix is
+// copied only for ledger-aware policies — everyone else never reads it.
+func (f *Federation) captureExchange(model.Time) ctrl.View {
+	ex := &exchange{Sums: f.summaries()}
+	if usesLedger(f.policy) {
+		ex.Routed = f.routedWorkCopy()
+	}
+	return ctrl.View{Load: loadOf(ex.Sums), Payload: ex}
+}
+
+// loadOf aggregates member summaries into the standardized load signal
+// queue-depth admission policies read.
+func loadOf(sums []Summary) ctrl.Load {
+	var l ctrl.Load
+	for _, s := range sums {
+		l.Waiting += s.Waiting
+		l.Capacity += s.Capacity
+	}
+	return l
 }
 
 // New builds a federation over the given organization universe. Each
@@ -151,6 +188,7 @@ func New(orgs []string, specs []ClusterSpec, policy Policy, seed int64) (*Federa
 		seed:   seed,
 		ledger: newLedger(len(specs), len(orgs)),
 	}
+	f.provider = ctrl.NewCachedSnapshotProvider(f.captureExchange, 0)
 	for i, spec := range specs {
 		if spec.Alg == nil {
 			return nil, fmt.Errorf("fed: cluster %d (%s) has no algorithm", i, spec.Name)
@@ -205,24 +243,56 @@ func (f *Federation) Policy() Policy { return f.policy }
 
 // Staleness returns the summary-gossip staleness Δt (0 = fresh
 // summaries at every release instant).
-func (f *Federation) Staleness() model.Time { return f.staleness }
+func (f *Federation) Staleness() model.Time { return f.provider.MaxAge() }
 
 // SetStaleness configures the summary-gossip staleness Δt: member
 // summaries (and the exchanged routed-work matrix) refresh only when
 // the cached snapshot is at least Δt old, instead of at every release
 // instant. Δt ≤ 0 restores the idealized always-fresh exchange.
 // Configure it before stepping; changing it mid-run invalidates the
-// cached snapshot.
-func (f *Federation) SetStaleness(dt model.Time) {
-	if dt < 0 {
-		dt = 0
+// cached snapshot. It is sugar for SnapshotProvider().SetMaxAge — the
+// one staleness contract both routing and admission observe through.
+func (f *Federation) SetStaleness(dt model.Time) { f.provider.SetMaxAge(dt) }
+
+// SnapshotProvider returns the bounded-staleness provider every
+// routing and admission decision observes the federation through.
+func (f *Federation) SnapshotProvider() *ctrl.CachedSnapshotProvider { return f.provider }
+
+// SetAdmission installs (or, with a nil spec, removes) an admission
+// control plane: releases then decompose into prioritized
+// arrival → admission → routing events, and only admitted jobs reach
+// the members — rejected ones leave the system, deferred ones retry at
+// the instant the policy names. The plane observes the federation
+// through the same bounded-staleness provider routing uses. Configure
+// it before stepping: installing a plane mid-run would strand jobs
+// already routed outside its accounting.
+func (f *Federation) SetAdmission(spec *ctrl.PolicySpec) error {
+	if spec == nil {
+		f.plane = nil
+		f.admission = nil
+		return nil
 	}
-	if dt != f.staleness {
-		f.staleness = dt
-		f.exValid = false
-		f.exSums = nil
-		f.exRouted = nil
+	policy, err := spec.Build()
+	if err != nil {
+		return err
 	}
+	cp := *spec
+	f.admission = &cp
+	f.plane = ctrl.NewPlane(policy, f.provider, len(f.orgs))
+	return nil
+}
+
+// Admission returns the installed admission spec, or nil when the
+// control plane is off.
+func (f *Federation) Admission() *ctrl.PolicySpec { return f.admission }
+
+// AdmissionStats returns the control plane's per-organization
+// admission accounting, or nil when the plane is off.
+func (f *Federation) AdmissionStats() *metrics.AdmissionStats {
+	if f.plane == nil {
+		return nil
+	}
+	return f.plane.Stats()
 }
 
 // Now returns the federation clock: the instant of the last Step.
@@ -298,6 +368,11 @@ func (f *Federation) NextEventTime() model.Time {
 	if len(f.pending) > 0 {
 		next = f.pending[0].Release
 	}
+	if f.plane != nil {
+		if t, ok := f.plane.NextEventTime(); ok && t < next {
+			next = t
+		}
+	}
 	for _, m := range f.members {
 		if t := m.eng.NextEventTime(); t < next {
 			next = t
@@ -317,10 +392,30 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 	if until < f.now {
 		return nil, fmt.Errorf("fed: step to %d before federation time %d", until, f.now)
 	}
+	if f.plane != nil {
+		if err := f.stepPlane(until); err != nil {
+			return nil, err
+		}
+	} else if err := f.stepDirect(until); err != nil {
+		return nil, err
+	}
+	if err := f.advanceMembers(until); err != nil {
+		return nil, err
+	}
+	f.now = until
+	fresh := append([]Decision(nil), f.decs[f.reported:]...)
+	f.reported = len(f.decs)
+	return fresh, nil
+}
+
+// stepDirect is the plane-off release loop — the pre-control-plane data
+// path, kept verbatim: every release is admitted implicitly and routed
+// at its release instant.
+func (f *Federation) stepDirect(until model.Time) error {
 	for len(f.pending) > 0 && f.pending[0].Release <= until {
 		t := f.pending[0].Release
 		if err := f.advanceMembers(t); err != nil {
-			return nil, err
+			return err
 		}
 		n := 0
 		for n < len(f.pending) && f.pending[n].Release == t {
@@ -333,7 +428,7 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 		// releases route on the same view.
 		if refreshed {
 			if err := f.redelegate(t, sums, routed); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		// Policies are pure functions of (org, origin, exchange), and
@@ -355,13 +450,13 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 				}
 			}
 			if target < 0 || target >= len(f.members) {
-				return nil, fmt.Errorf("fed: policy %q routed job %d to unknown cluster %d",
+				return fmt.Errorf("fed: policy %q routed job %d to unknown cluster %d",
 					f.policy.Name(), p.Seq, target)
 			}
 			m := f.members[target]
 			ids, err := m.eng.Feed([]model.Job{{Org: p.Org, Size: p.Size, Release: t}})
 			if err != nil {
-				return nil, fmt.Errorf("fed: feed cluster %d (%s): %w", target, m.name, err)
+				return fmt.Errorf("fed: feed cluster %d (%s): %w", target, m.name, err)
 			}
 			m.setSeq(ids[0], p.Seq, p.Cluster)
 			f.ledger.route(p, target)
@@ -369,17 +464,107 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 		f.pending = append(f.pending[:0], f.pending[n:]...)
 		// Same-instant dispatch of the freshly routed releases.
 		if err := f.advanceMembers(t); err != nil {
-			return nil, err
+			return err
 		}
 		f.now = t
 	}
-	if err := f.advanceMembers(until); err != nil {
-		return nil, err
+	return nil
+}
+
+// stepPlane is the plane-on release loop: pending releases enter the
+// control plane as ArrivalEvents at their release instants, and the
+// plane drives the arrival → admission → routing decomposition in
+// (timestamp, priority, seqID) order — deferred admissions wake the
+// loop at their retry instants even when no release is due. Members
+// advance to each decision instant before the plane acts, exactly as
+// the direct path advances them before routing a batch, so with
+// AlwaysAdmit and staleness 0 the two paths are byte-identical
+// (TestControlPlaneDifferential).
+func (f *Federation) stepPlane(until model.Time) error {
+	sink := &fedSink{f: f}
+	for {
+		t := sim.MaxTime
+		if len(f.pending) > 0 {
+			t = f.pending[0].Release
+		}
+		if pt, ok := f.plane.NextEventTime(); ok && pt < t {
+			t = pt
+		}
+		if t > until {
+			return nil
+		}
+		if err := f.advanceMembers(t); err != nil {
+			return err
+		}
+		n := 0
+		for n < len(f.pending) && f.pending[n].Release == t {
+			p := f.pending[n]
+			f.plane.Arrive(ctrl.Job{Seq: p.Seq, Org: p.Org, Origin: p.Cluster, Size: p.Size, Release: p.Release}, t)
+			n++
+		}
+		f.pending = append(f.pending[:0], f.pending[n:]...)
+		if err := f.plane.Advance(t, sink); err != nil {
+			return err
+		}
+		// Same-instant dispatch of the freshly routed admissions.
+		if err := f.advanceMembers(t); err != nil {
+			return err
+		}
+		f.now = t
 	}
-	f.now = until
-	fresh := append([]Decision(nil), f.decs[f.reported:]...)
-	f.reported = len(f.decs)
-	return fresh, nil
+}
+
+// fedSink is the federation's data-plane half: the control plane hands
+// it admitted jobs to route and snapshot-refresh edges to re-delegate
+// on.
+type fedSink struct {
+	f      *Federation
+	memoAt model.Time
+	memoOK bool
+	memo   map[[2]int]int
+}
+
+// Refreshed fires the queued-job migration pass on each fresh exchange,
+// exactly where the direct path fires it: before any of the instant's
+// routing decisions act on the new view.
+func (s *fedSink) Refreshed(t model.Time, view ctrl.View) error {
+	ex := view.Payload.(*exchange)
+	return s.f.redelegate(t, ex.Sums, ex.Routed)
+}
+
+// Route feeds one admitted job to the cluster the delegation policy
+// picks. Policies are pure functions of (org, origin, exchange) and the
+// exchange is frozen per instant, so evaluations are memoized per
+// (instant, org, origin) — the same burst-collapsing the direct path's
+// batch memo does.
+func (s *fedSink) Route(job ctrl.Job, t model.Time, view ctrl.View) error {
+	f := s.f
+	ex := view.Payload.(*exchange)
+	if !s.memoOK || s.memoAt != t {
+		s.memo, s.memoAt, s.memoOK = nil, t, true
+	}
+	p := Pending{Seq: job.Seq, Cluster: job.Origin, Org: job.Org, Size: job.Size, Release: job.Release}
+	key := [2]int{p.Org, p.Cluster}
+	target, seen := s.memo[key]
+	if !seen {
+		target = f.route(p, ex.Sums, ex.Routed)
+		if s.memo == nil {
+			s.memo = make(map[[2]int]int)
+		}
+		s.memo[key] = target
+	}
+	if target < 0 || target >= len(f.members) {
+		return fmt.Errorf("fed: policy %q routed job %d to unknown cluster %d",
+			f.policy.Name(), p.Seq, target)
+	}
+	m := f.members[target]
+	ids, err := m.eng.Feed([]model.Job{{Org: p.Org, Size: p.Size, Release: t}})
+	if err != nil {
+		return fmt.Errorf("fed: feed cluster %d (%s): %w", target, m.name, err)
+	}
+	m.setSeq(ids[0], p.Seq, p.Cluster)
+	f.ledger.route(p, target)
+	return nil
 }
 
 // StepToNextEvent advances to the next pending event instant, if one
@@ -425,35 +610,18 @@ func (f *Federation) route(p Pending, sums []Summary, routed [][]int64) int {
 }
 
 // exchangeAt returns the exchange snapshot the policy routes on at
-// instant t: fresh at every call when staleness is 0, otherwise the
-// cached snapshot, refreshed once it is at least Δt old. The snapshot
-// is taken before the instant's batch is routed, so every job in a
-// batch routes on the same view. The routed-work matrix is copied only
-// for ledger-aware policies — everyone else never reads it. The third
-// result reports whether this call took a fresh snapshot — the
-// staleness-delimited "gossip arrived" edge the migration pass fires
-// on (with staleness 0 every routing instant is such an edge).
+// instant t, observed through the bounded-staleness provider: fresh at
+// every call when staleness is 0, otherwise the cached snapshot,
+// refreshed once it is at least Δt old. The snapshot is taken before
+// the instant's batch is routed, so every job in a batch routes on the
+// same view. The third result reports whether this call took a fresh
+// snapshot — the staleness-delimited "gossip arrived" edge the
+// migration pass fires on (with staleness 0 every routing instant is
+// such an edge).
 func (f *Federation) exchangeAt(t model.Time) ([]Summary, [][]int64, bool) {
-	ledgerAware := usesLedger(f.policy)
-	if f.staleness <= 0 {
-		var routed [][]int64
-		if ledgerAware {
-			routed = f.routedWorkCopy()
-		}
-		return f.summaries(), routed, true
-	}
-	refreshed := false
-	if !f.exValid || t-f.exAt >= f.staleness {
-		f.exSums = f.summaries()
-		f.exRouted = nil
-		if ledgerAware {
-			f.exRouted = f.routedWorkCopy()
-		}
-		f.exAt = t
-		f.exValid = true
-		refreshed = true
-	}
-	return f.exSums, f.exRouted, refreshed
+	view, refreshed := f.provider.Observe(t)
+	ex := view.Payload.(*exchange)
+	return ex.Sums, ex.Routed, refreshed
 }
 
 // redelegate is the migration pass: fired at each exchange refresh, it
@@ -603,8 +771,28 @@ func (f *Federation) CheckConservation() error {
 			return fmt.Errorf("fed: cluster %d holds %d live jobs, ledger says %d fed", c, got, l.Fed[c])
 		}
 	}
-	if fedTotal+int64(len(f.pending)) != l.Submitted {
-		return fmt.Errorf("fed: %d fed + %d pending != %d submitted", fedTotal, len(f.pending), l.Submitted)
+	if f.plane == nil {
+		if fedTotal+int64(len(f.pending)) != l.Submitted {
+			return fmt.Errorf("fed: %d fed + %d pending != %d submitted", fedTotal, len(f.pending), l.Submitted)
+		}
+	} else {
+		// With admission control in the path the accounting splits: a
+		// submitted job is pending, or released into the control plane —
+		// and then admitted (fed to a member), rejected, or deferred
+		// (waiting on a retry event). The plane's own per-organization
+		// law (admitted + rejected + deferred == released) composes with
+		// the federation-level one here.
+		st := f.plane.Stats()
+		if err := st.CheckConserved(); err != nil {
+			return fmt.Errorf("fed: %w", err)
+		}
+		if st.TotalAdmitted() != fedTotal {
+			return fmt.Errorf("fed: %d admitted != %d fed", st.TotalAdmitted(), fedTotal)
+		}
+		if st.TotalReleased()+int64(len(f.pending)) != l.Submitted {
+			return fmt.Errorf("fed: %d released + %d pending != %d submitted",
+				st.TotalReleased(), len(f.pending), l.Submitted)
+		}
 	}
 	var routed int64
 	for _, row := range l.Routed {
