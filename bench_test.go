@@ -18,6 +18,7 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -370,6 +371,150 @@ func BenchmarkFederation(b *testing.B) {
 				b.ReportMetric(offload, "offload%")
 				b.ReportMetric(value, "value")
 				b.ReportMetric(migrations, "migrations")
+			})
+		}
+	}
+}
+
+// BenchmarkFederationParallel measures the federation data plane's two
+// scale knobs (ISSUE 9):
+//
+//   - step/members=M/workers=W: end-to-end federated stepping
+//     throughput (jobs routed and executed per second) over a
+//     members × workers grid. Results are byte-identical at every
+//     width (TestFederationWorkerInvariance); only jobs/s moves, and
+//     only on multi-core hosts — on a single-core runner the parallel
+//     rows measure pure fan-out overhead.
+//   - memory/{eager,stream}/horizon=H: ingestion residency at trace
+//     length H and 10×H. The eager rows materialize the whole stream
+//     in the pending queue before stepping (peak-pending-jobs grows
+//     with the trace); the stream rows attach the same stream as a
+//     fed.JobSource with a 256-job window (peak-pending-jobs stays
+//     flat). peak-heap-MB is sampled alongside for the absolute
+//     footprint; member engines keep the full decision history by
+//     design, so only the ingestion side is expected to flatten.
+//
+// The memory rows are sequential and deterministic; CI's benchdiff
+// gate holds their allocs/op to the committed BENCH_9.json baseline.
+func BenchmarkFederationParallel(b *testing.B) {
+	mkPolicy := func() fed.Policy {
+		return fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget}
+	}
+	const stepHorizon = model.Time(3000)
+	for _, members := range []int{4, 8, 17} {
+		sc := gen.DefaultFedScenario()
+		sc.Clusters = members
+		sc.Base = sc.Base.Scale(0.12)
+		w, err := sc.Generate(stepHorizon, stats.NewRand(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		for _, js := range w.Jobs {
+			total += len(js)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("step/members=%d/workers=%d", members, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					specs := make([]fed.ClusterSpec, len(w.Machines))
+					for c := range specs {
+						specs[c] = fed.ClusterSpec{
+							Name: fmt.Sprintf("site%d", c), Alg: core.RefAlgorithm{}, Machines: w.Machines[c],
+						}
+					}
+					f, err := fed.New(w.Orgs, specs, mkPolicy(), 42)
+					if err != nil {
+						b.Fatal(err)
+					}
+					f.SetStaleness(100)
+					f.SetWorkers(workers)
+					for c, js := range w.Jobs {
+						if err := f.SubmitJobs(c, js); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if _, err := f.Step(stepHorizon); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(total)*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+			})
+		}
+	}
+
+	memScenario := gen.DefaultFedScenario()
+	memScenario.Base = memScenario.Base.Scale(0.12)
+	for _, mode := range []string{"eager", "stream"} {
+		for _, horizon := range []model.Time{6000, 60000} {
+			mode, horizon := mode, horizon
+			b.Run(fmt.Sprintf("memory/%s/horizon=%d", mode, horizon), func(b *testing.B) {
+				// Machines/orgs come from the eager generator; the job
+				// stream itself comes from the equivalent streaming
+				// source in both modes, so the two rows ingest the
+				// identical trace.
+				w, err := memScenario.Generate(horizon, stats.NewRand(42))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var peakPending, peakHeapMB float64
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					runtime.GC()
+					b.StartTimer()
+					specs := make([]fed.ClusterSpec, len(w.Machines))
+					for c := range specs {
+						specs[c] = fed.ClusterSpec{
+							Name:     fmt.Sprintf("site%d", c),
+							Alg:      core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }),
+							Machines: w.Machines[c],
+						}
+					}
+					f, err := fed.New(w.Orgs, specs, fed.LocalOnly{}, 42)
+					if err != nil {
+						b.Fatal(err)
+					}
+					src, err := memScenario.Source(horizon, 42)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if mode == "eager" {
+						for {
+							j, ok, err := src.Next()
+							if err != nil {
+								b.Fatal(err)
+							}
+							if !ok {
+								break
+							}
+							if _, err := f.Submit(j.Cluster, j.Org, j.Size, j.Release); err != nil {
+								b.Fatal(err)
+							}
+						}
+					} else if err := f.SetSource(src, 256); err != nil {
+						b.Fatal(err)
+					}
+					peakPending, peakHeapMB = 0, 0
+					var ms runtime.MemStats
+					sample := func() {
+						if n := float64(f.PendingCount()); n > peakPending {
+							peakPending = n
+						}
+						runtime.ReadMemStats(&ms)
+						if mb := float64(ms.HeapAlloc) / (1 << 20); mb > peakHeapMB {
+							peakHeapMB = mb
+						}
+					}
+					sample()
+					const chunks = 16
+					for s := 1; s <= chunks; s++ {
+						if _, err := f.Step(horizon * model.Time(s) / chunks); err != nil {
+							b.Fatal(err)
+						}
+						sample()
+					}
+				}
+				b.ReportMetric(peakPending, "peak-pending-jobs")
+				b.ReportMetric(peakHeapMB, "peak-heap-MB")
 			})
 		}
 	}

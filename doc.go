@@ -38,7 +38,11 @@
 //	                    RefPolicy), summary-gossip staleness, queued-job
 //	                    migration at gossip refreshes (Migrating
 //	                    policies), federation-wide contribution ledger,
-//	                    lockstep checkpoints
+//	                    lockstep checkpoints, a parallel member-stepping
+//	                    data plane (SetWorkers — byte-identical at any
+//	                    width) and pull-based streaming ingestion
+//	                    (JobSource/SetSource with bounded lookahead,
+//	                    SWF adapter, cursor checkpointing)
 //	internal/daemon   — multi-session serving layer: many concurrent
 //	                    runs (single or federated) over HTTP on a
 //	                    sharded session table, persisted through a
@@ -50,7 +54,8 @@
 //	                    the O(1)-memory streaming Reader
 //	internal/gen      — synthetic workload families and federated
 //	                    scenario generation (arrival skew, diurnal
-//	                    phase offsets, heterogeneous sites)
+//	                    phase offsets, heterogeneous sites), both eager
+//	                    and as a replayable streaming fed.JobSource
 //	internal/exp      — Table 1/2, Figure 7/10, federated delegation
 //	                    (policy × metric) and admission-control
 //	                    (variant × load) experiment runners

@@ -80,6 +80,12 @@ type SessionConfig struct {
 	// (fed.WithMigrationBudget semantics); it is ignored for policies
 	// that never migrate.
 	MigrationBudget int `json:"migration_budget,omitempty"`
+	// FedWorkers is the federation data-plane fan-out width
+	// (fed.SetWorkers): member engines advance on up to this many
+	// goroutines. Results are byte-identical at any width; <= 1 keeps
+	// the sequential path, 0 additionally defers to the manager-level
+	// default (fairschedd -fed-workers).
+	FedWorkers int `json:"fed_workers,omitempty"`
 
 	// Admission, when set, installs an internal/ctrl admission control
 	// plane in front of the session: releases decompose into prioritized
@@ -242,6 +248,7 @@ func newSession(id string, cfg SessionConfig) (*Session, error) {
 			return nil, err
 		}
 		f.SetStaleness(cfg.Staleness)
+		f.SetWorkers(cfg.FedWorkers)
 		if err := f.SetAdmission(cfg.Admission); err != nil {
 			return nil, err
 		}
@@ -602,6 +609,9 @@ func (s *Session) restoreLocked(data []byte) error {
 	if err != nil {
 		return err
 	}
+	// The fan-out width is a pure throughput knob, absent from
+	// checkpoints by design — reapply the configured one.
+	restored.SetWorkers(s.cfg.FedWorkers)
 	s.fedn = restored
 	return nil
 }
@@ -633,6 +643,19 @@ type Manager struct {
 	order  []string // creation order, for stable listings
 	nextID int
 	store  CheckpointStore // optional; Delete drops envelopes through it
+
+	// defFedWorkers is the fan-out width applied to federation sessions
+	// whose config leaves FedWorkers at 0 (fairschedd -fed-workers).
+	defFedWorkers int
+}
+
+// SetDefaultFedWorkers sets the federation fan-out width applied to
+// sessions created without an explicit FedWorkers — the process-level
+// knob fairschedd -fed-workers turns. n <= 1 means sequential.
+func (m *Manager) SetDefaultFedWorkers(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.defFedWorkers = n
 }
 
 // NewManager returns an empty session manager.
@@ -681,6 +704,14 @@ func (m *Manager) freshID() string {
 // a fresh "s<N>" identifier is assigned. Identifiers must be usable in
 // URL paths: one path segment, no slashes.
 func (m *Manager) Create(id string, cfg SessionConfig) (*Session, error) {
+	if cfg.Kind == KindFederation && cfg.FedWorkers == 0 {
+		// The resolved width is stored (and persisted) in the session's
+		// config; it is results-neutral, so envelopes written under one
+		// default reload correctly under another.
+		m.mu.Lock()
+		cfg.FedWorkers = m.defFedWorkers
+		m.mu.Unlock()
+	}
 	auto := id == ""
 	if auto {
 		id = m.freshID()

@@ -1,0 +1,73 @@
+package fed_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fed"
+	"repro/internal/model"
+)
+
+// TestFederatedSteadyStateStepAllocFree extends the zero-alloc budget
+// of core.TestSteadyStateStepAllocFree one layer up: once every pending
+// release has been routed, a plane-off sequential federation steps
+// through pure-completion events without allocating — fill is a nil
+// check, the pending sort is a clean-flag check, member advances run
+// out of the engines' preallocated scratch, and the decision log grows
+// only when something starts. The parallel path is exempt by design
+// (fan-out spawns goroutines), as is the control plane.
+func TestFederatedSteadyStateStepAllocFree(t *testing.T) {
+	const (
+		clusters = 2
+		orgs     = 2
+		perOrg   = 60 // machines = jobs per (cluster, org): everything starts at 0
+	)
+	specs := make([]fed.ClusterSpec, clusters)
+	for c := range specs {
+		specs[c] = fed.ClusterSpec{
+			Name:     fmt.Sprintf("site%d", c),
+			Alg:      core.RefAlgorithm{},
+			Machines: []int{perOrg, perOrg},
+		}
+	}
+	f, err := fed.New([]string{"a", "b"}, specs, fed.LocalOnly{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Globally unique sizes: one completion event per instant, so every
+	// measured StepToNextEvent processes real work.
+	size := model.Time(1)
+	for c := 0; c < clusters; c++ {
+		for o := 0; o < orgs; o++ {
+			for j := 0; j < perOrg; j++ {
+				if _, err := f.Submit(c, o, size, 0); err != nil {
+					t.Fatal(err)
+				}
+				size++
+			}
+		}
+	}
+	if _, err := f.Step(0); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(f.Decisions()), clusters*orgs*perOrg; got != want {
+		t.Fatalf("%d jobs started at t=0, want %d — the steady loop would not be pure completions", got, want)
+	}
+	for i := 0; i < 3; i++ { // settle any lazily sized scratch
+		if _, ok, err := f.StepToNextEvent(); err != nil || !ok {
+			t.Fatalf("warmup step %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if avg := testing.AllocsPerRun(150, func() {
+		if _, _, err := f.StepToNextEvent(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state federated StepToNextEvent allocates %.2f times per run, budget is 0", avg)
+	}
+	// The budget only means something if events never ran dry.
+	if _, ok, err := f.StepToNextEvent(); err != nil || !ok {
+		t.Fatalf("events drained during measurement: ok=%v err=%v", ok, err)
+	}
+}

@@ -15,7 +15,14 @@ import (
 // and the ledger's Migrated/MigratedWork matrices. Version 3 added the
 // control plane: the admission spec and the plane's serialized state
 // (event queue, policy state, per-organization admission counters).
-const CheckpointVersion = 3
+// Version 4 added streaming ingestion: the job-source cursor block,
+// absent for materialized runs. Version 3 checkpoints (necessarily
+// sourceless) still restore.
+const CheckpointVersion = 4
+
+// minCheckpointVersion is the oldest layout Restore accepts: version 3
+// differs from 4 only by never carrying a source block.
+const minCheckpointVersion = 3
 
 // Checkpoint is the complete serializable state of a federation: the
 // routing layer (pending queue, sequence counter, ledger counters,
@@ -52,6 +59,24 @@ type Checkpoint struct {
 	// empty when the plane is off.
 	Admission *ctrl.PolicySpec `json:"admission,omitempty"`
 	Ctrl      json.RawMessage  `json:"ctrl,omitempty"`
+
+	// Streaming-ingestion state (version 4): present when a job source
+	// was attached. Only the consumption cursor is persisted — sources
+	// are replayable by contract, so restore re-opens the source and
+	// skips Cursor jobs rather than serializing the unconsumed stream
+	// (which may be millions of jobs, the thing streaming exists to
+	// never materialize).
+	Source *SourceCheckpoint `json:"source,omitempty"`
+}
+
+// SourceCheckpoint is the streaming-ingestion cursor: how far into the
+// job stream the capturing run had consumed, the lookahead window, and
+// the order-contract watermark.
+type SourceCheckpoint struct {
+	Cursor int64      `json:"cursor"`
+	Window int        `json:"window"`
+	Done   bool       `json:"done,omitempty"`
+	Last   model.Time `json:"last,omitempty"`
 }
 
 // MemberCheckpoint is one member cluster's state: identity, machine
@@ -69,6 +94,10 @@ type MemberCheckpoint struct {
 // JSON. Restoring it — in this process or another — resumes the run
 // byte-identically: same future routing, same decisions, same ψ.
 func (f *Federation) Snapshot() ([]byte, error) {
+	if f.srcErr != nil {
+		return nil, fmt.Errorf("fed: snapshot after job source failure: %w", f.srcErr)
+	}
+	f.sortPending() // checkpoints always carry the canonical order
 	cp := Checkpoint{
 		Version:   CheckpointVersion,
 		Policy:    f.policy.Name(),
@@ -94,6 +123,14 @@ func (f *Federation) Snapshot() ([]byte, error) {
 			return nil, fmt.Errorf("fed: snapshot control plane: %w", err)
 		}
 		cp.Ctrl = st
+	}
+	if f.source != nil || f.srcNeeded {
+		cp.Source = &SourceCheckpoint{
+			Cursor: f.srcCursor,
+			Window: f.srcWindow,
+			Done:   f.srcDone,
+			Last:   f.srcLast,
+		}
 	}
 	for i, m := range f.members {
 		snap, err := m.eng.Snapshot()
@@ -124,8 +161,8 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 	if err := json.Unmarshal(data, &cp); err != nil {
 		return nil, fmt.Errorf("fed: restore: %w", err)
 	}
-	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("fed: restore: checkpoint version %d, want %d", cp.Version, CheckpointVersion)
+	if cp.Version < minCheckpointVersion || cp.Version > CheckpointVersion {
+		return nil, fmt.Errorf("fed: restore: checkpoint version %d, want %d..%d", cp.Version, minCheckpointVersion, CheckpointVersion)
 	}
 	if policy == nil {
 		return nil, fmt.Errorf("fed: restore: nil delegation policy")
@@ -200,6 +237,18 @@ func Restore(orgs []string, specs []ClusterSpec, policy Policy, data []byte) (*F
 		}
 	} else if len(cp.Ctrl) > 0 {
 		return nil, fmt.Errorf("fed: restore: checkpoint carries control-plane state but no admission spec")
+	}
+	if cp.Source != nil {
+		if cp.Source.Cursor < 0 || cp.Source.Window < 1 {
+			return nil, fmt.Errorf("fed: restore: invalid source cursor %d / window %d", cp.Source.Cursor, cp.Source.Window)
+		}
+		f.srcCursor = cp.Source.Cursor
+		f.srcWindow = cp.Source.Window
+		f.srcDone = cp.Source.Done
+		f.srcLast = cp.Source.Last
+		// The stream itself is not in the checkpoint: stepping stays
+		// refused until the caller re-attaches a replayable source.
+		f.srcNeeded = true
 	}
 	for i, spec := range specs {
 		mc := cp.Members[i]

@@ -28,6 +28,16 @@
 // seed, submission sequence) — byte-identical across reruns and across
 // Snapshot/Restore (see TestFederationDeterminism).
 //
+// Two scale knobs leave that function untouched. SetWorkers fans member
+// stepping and summary capture out across goroutines — between routing
+// instants the engines share nothing, and results merge in
+// configuration order, so the worker count never changes an output byte
+// (parallel.go). SetSource replaces the materialized pending queue with
+// a bounded lookahead window pulled on demand from a JobSource
+// (source.go), so replay memory is O(window) in the trace length;
+// checkpoints persist only the stream cursor and restore resumes
+// mid-stream against a re-opened source.
+//
 // The Ledger records every routing decision and aggregates per-cluster
 // ψ-vectors into federation-wide totals, so the existing
 // internal/metrics unfairness measures (Δψ, Δψ/p_tot) apply unchanged
@@ -35,7 +45,9 @@
 package fed
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/ctrl"
@@ -112,10 +124,40 @@ type Federation struct {
 	seed     int64
 	now      model.Time
 	nextSeq  int64
-	pending  []Pending // sorted by (Release, Seq)
+	pending  []Pending // sorted by (Release, Seq) once sortPending runs
 	decs     []Decision
 	reported int
 	ledger   *Ledger
+
+	// pendingDirty marks the pending queue as needing a (Release, Seq)
+	// sort: Submit and the streaming pull both append in O(1) and the
+	// sort happens once per read point, so bulk submission is O(n log n)
+	// total instead of the old shift-insert's O(n²).
+	pendingDirty bool
+
+	// workers is the data-plane fan-out width (see SetWorkers); <= 1 is
+	// the sequential path. stepStarts/stepErrs are the fan-out's
+	// per-member scratch slots, reused across advance calls.
+	workers    int
+	stepStarts [][]sim.Start
+	stepErrs   []error
+
+	// Streaming ingestion state (see SetSource). source == nil is the
+	// materialized mode: every job arrives through Submit. With a source
+	// attached the pending queue is a bounded lookahead window over the
+	// stream; srcCursor counts consumed jobs (the checkpoint's resume
+	// point), srcLast enforces the nondecreasing-release contract, and
+	// srcErr pins the first pull failure (stepping past an unknowable
+	// stream suffix would fabricate a different workload). srcNeeded is
+	// set by Restore when the checkpoint recorded a live source: the
+	// federation refuses to step until SetSource re-attaches one.
+	source    JobSource
+	srcWindow int
+	srcCursor int64
+	srcDone   bool
+	srcLast   model.Time
+	srcErr    error
+	srcNeeded bool
 
 	// provider is the staleness contract for every observation routing
 	// and admission act on: with max age 0 (the default, the idealized
@@ -327,7 +369,7 @@ func (f *Federation) Submit(origin, org int, size, release model.Time) (int64, e
 	}
 	p := Pending{Seq: f.nextSeq, Cluster: origin, Org: org, Size: size, Release: release}
 	f.nextSeq++
-	f.insertPending(p)
+	f.appendPending(p)
 	f.ledger.Submitted++
 	return p.Seq, nil
 }
@@ -344,26 +386,47 @@ func (f *Federation) SubmitJobs(origin int, jobs []model.Job) error {
 	return nil
 }
 
-// insertPending keeps f.pending sorted by (Release, Seq). Submissions
-// are typically in release order, so the common case is an append.
-func (f *Federation) insertPending(p Pending) {
-	i := len(f.pending)
-	for i > 0 {
-		q := f.pending[i-1]
-		if q.Release < p.Release || (q.Release == p.Release && q.Seq < p.Seq) {
-			break
+// appendPending enqueues one accepted job in O(1), marking the queue
+// for a lazy sort when the append breaks (Release, Seq) order. The old
+// shift-insert paid an O(n) copy per out-of-order submission — O(n²)
+// for bulk per-cluster sorted streams, whose interleaving is almost
+// never globally sorted.
+func (f *Federation) appendPending(p Pending) {
+	if n := len(f.pending); n > 0 && !f.pendingDirty {
+		q := f.pending[n-1]
+		if p.Release < q.Release || (p.Release == q.Release && p.Seq < q.Seq) {
+			f.pendingDirty = true
 		}
-		i--
 	}
-	f.pending = append(f.pending, Pending{})
-	copy(f.pending[i+1:], f.pending[i:])
-	f.pending[i] = p
+	f.pending = append(f.pending, p)
+}
+
+// sortPending restores the (Release, Seq) order every read point
+// assumes. Sequence numbers are unique, so the order is total.
+func (f *Federation) sortPending() {
+	if !f.pendingDirty {
+		return
+	}
+	// slices.SortFunc, not sort.Slice: the closure-through-interface
+	// path allocates on every dirty sort, which the control-plane
+	// allocation gate (BENCH_8.json) holds this path to zero against.
+	slices.SortFunc(f.pending, func(a, b Pending) int {
+		if c := cmp.Compare(a.Release, b.Release); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Seq, b.Seq)
+	})
+	f.pendingDirty = false
 }
 
 // NextEventTime returns the earliest instant at which anything can
-// happen: the next pending release or the earliest member event, or
-// sim.MaxTime when the federation is drained.
+// happen: the next pending release (pulling from an attached source if
+// the window is empty) or the earliest member event, or sim.MaxTime
+// when the federation is drained. A source pull failure here surfaces
+// at the next Step — the error is sticky.
 func (f *Federation) NextEventTime() model.Time {
+	_ = f.fill()
+	f.sortPending()
 	next := sim.MaxTime
 	if len(f.pending) > 0 {
 		next = f.pending[0].Release
@@ -388,9 +451,20 @@ func (f *Federation) NextEventTime() model.Time {
 // to their executing engines and dispatched, and the loop continues.
 // It returns the federated scheduling decisions made since the
 // previous Step (or since Restore).
+//
+// The returned slice aliases the federation's decision log — the same
+// read-only contract engine.Step documents: it is valid until the next
+// mutating call and must not be modified. Callers that keep decisions
+// across steps copy what they need (the daemon's wire conversion
+// already does); the steady-state hot path allocates nothing.
 func (f *Federation) Step(until model.Time) ([]Decision, error) {
 	if until < f.now {
 		return nil, fmt.Errorf("fed: step to %d before federation time %d", until, f.now)
+	}
+	if f.srcNeeded && !f.srcDone {
+		// A drained source (srcDone) needs no re-attachment: the stream
+		// has nothing left to pull and stepping is safe without it.
+		return nil, fmt.Errorf("fed: restored from a streaming checkpoint at source cursor %d; attach the source with SetSource before stepping", f.srcCursor)
 	}
 	if f.plane != nil {
 		if err := f.stepPlane(until); err != nil {
@@ -403,7 +477,7 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 		return nil, err
 	}
 	f.now = until
-	fresh := append([]Decision(nil), f.decs[f.reported:]...)
+	fresh := f.decs[f.reported:]
 	f.reported = len(f.decs)
 	return fresh, nil
 }
@@ -412,8 +486,22 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 // path, kept verbatim: every release is admitted implicitly and routed
 // at its release instant.
 func (f *Federation) stepDirect(until model.Time) error {
-	for len(f.pending) > 0 && f.pending[0].Release <= until {
+	for {
+		if err := f.fill(); err != nil {
+			return err
+		}
+		f.sortPending()
+		if len(f.pending) == 0 || f.pending[0].Release > until {
+			return nil
+		}
 		t := f.pending[0].Release
+		// Batch completeness: with a streaming source attached, every job
+		// releasing at t must be resident before the instant routes, or
+		// the window size would split one exchange-frozen batch in two.
+		if err := f.fillThrough(t); err != nil {
+			return err
+		}
+		f.sortPending()
 		if err := f.advanceMembers(t); err != nil {
 			return err
 		}
@@ -468,7 +556,6 @@ func (f *Federation) stepDirect(until model.Time) error {
 		}
 		f.now = t
 	}
-	return nil
 }
 
 // stepPlane is the plane-on release loop: pending releases enter the
@@ -483,6 +570,10 @@ func (f *Federation) stepDirect(until model.Time) error {
 func (f *Federation) stepPlane(until model.Time) error {
 	sink := &fedSink{f: f}
 	for {
+		if err := f.fill(); err != nil {
+			return err
+		}
+		f.sortPending()
 		t := sim.MaxTime
 		if len(f.pending) > 0 {
 			t = f.pending[0].Release
@@ -493,6 +584,12 @@ func (f *Federation) stepPlane(until model.Time) error {
 		if t > until {
 			return nil
 		}
+		// Batch completeness, as in the direct path: the whole release
+		// burst at t must enter the plane before it advances.
+		if err := f.fillThrough(t); err != nil {
+			return err
+		}
+		f.sortPending()
 		if err := f.advanceMembers(t); err != nil {
 			return err
 		}
@@ -579,9 +676,15 @@ func (f *Federation) StepToNextEvent() ([]Decision, bool, error) {
 	return decs, true, err
 }
 
-// advanceMembers steps every member engine to t (in configuration
-// order) and folds their fresh starts into the federated decision log.
+// advanceMembers steps every member engine to t and folds their fresh
+// starts into the federated decision log in configuration order. With
+// workers > 1 the engines advance concurrently (they share no mutable
+// state between routing instants) and the merge preserves the exact
+// sequential order — see parallel.go for the determinism argument.
 func (f *Federation) advanceMembers(t model.Time) error {
+	if f.workers > 1 && len(f.members) > 1 {
+		return f.advanceMembersParallel(t)
+	}
 	for c, m := range f.members {
 		starts, err := m.eng.Step(t)
 		if err != nil {
@@ -720,10 +823,27 @@ func (f *Federation) routedWorkCopy() [][]int64 {
 // summaries exports every member's Summary at the current lockstep
 // instant. Engines stand exactly at the routing instant, so the
 // exchanged ψ/φ vectors are the values a real federation peer would
-// have just gossiped.
+// have just gossiped. Capture fans out on the worker pool — Result()
+// is the expensive per-member call (REF members compute Shapley values
+// here), each touches only its own engine, and the slots are indexed
+// by member, so the exchange is worker-count invariant too.
 func (f *Federation) summaries() []Summary {
 	sums := make([]Summary, len(f.members))
-	for i, m := range f.members {
+	// The sequential branch calls summarizeRange directly: routing the
+	// width-1 case through forEachMember would heap-allocate the closure
+	// on every exchange capture, which the control-plane allocation gate
+	// (BENCH_8.json) forbids.
+	if f.workers <= 1 {
+		f.summarizeRange(sums, 0, len(f.members))
+		return sums
+	}
+	f.forEachMember(func(lo, hi int) { f.summarizeRange(sums, lo, hi) })
+	return sums
+}
+
+func (f *Federation) summarizeRange(sums []Summary, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		m := f.members[i]
 		res := m.eng.Result()
 		inst := m.eng.Instance()
 		orgCap := make([]int64, len(inst.Orgs))
@@ -743,7 +863,6 @@ func (f *Federation) summaries() []Summary {
 			Utilization: res.Utilization,
 		}
 	}
-	return sums
 }
 
 // Ledger returns the federation ledger with the per-cluster accounting

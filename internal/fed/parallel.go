@@ -1,0 +1,108 @@
+// Parallel member stepping: between routing instants the member
+// engines share no mutable state — each schedules its own instance with
+// its own seed — so advancing them is embarrassingly parallel. The
+// worker pool reuses the deterministic fan-out pattern RAND's sampler
+// established in internal/core: members are split into contiguous
+// chunks with a fixed chunk-to-goroutine assignment, per-member results
+// land in slots indexed by member position, and the single-threaded
+// merge folds them into the decision log in configuration order — the
+// exact order the sequential loop produces, so the worker count never
+// changes a single output byte (TestFederationWorkerInvariance).
+package fed
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// SetWorkers configures the data-plane fan-out width: member engines
+// advance (and exchange summaries capture) on up to n goroutines.
+// n <= 1 keeps the sequential path — the default, and the only mode the
+// steady-state 0-allocs/op budget holds in, since fan-out spawns
+// goroutines. Safe to change at any point: parallel and sequential
+// stepping are byte-identical, so the worker count is a pure throughput
+// knob and is deliberately absent from checkpoints.
+func (f *Federation) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.workers = n
+}
+
+// Workers returns the effective data-plane fan-out width: 1 (the
+// sequential default) until SetWorkers raises it.
+func (f *Federation) Workers() int {
+	if f.workers < 1 {
+		return 1
+	}
+	return f.workers
+}
+
+// forEachMember runs fn over contiguous member-index chunks on up to
+// f.workers goroutines, inline when the pool is off or trivial. fn must
+// touch only per-member state (slots indexed by member position).
+func (f *Federation) forEachMember(fn func(lo, hi int)) {
+	n := len(f.members)
+	if n == 0 {
+		return
+	}
+	workers := f.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// advanceMembersParallel is advanceMembers' fan-out path: every member
+// steps to t on the pool, fresh starts land in per-member scratch
+// slots, and the merge appends them to the federated decision log in
+// configuration order — byte-identical to the sequential loop. The
+// scratch slices are reused across calls; the start slices themselves
+// alias each engine's decision log (the engine.Step contract), so the
+// merge copies nothing.
+func (f *Federation) advanceMembersParallel(t model.Time) error {
+	n := len(f.members)
+	if cap(f.stepStarts) < n {
+		f.stepStarts = make([][]sim.Start, n)
+		f.stepErrs = make([]error, n)
+	}
+	starts := f.stepStarts[:n]
+	errs := f.stepErrs[:n]
+	f.forEachMember(func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			starts[c], errs[c] = f.members[c].eng.Step(t)
+		}
+	})
+	for c, m := range f.members {
+		if err := errs[c]; err != nil {
+			return fmt.Errorf("fed: advance cluster %d (%s): %w", c, m.name, err)
+		}
+		for _, s := range starts[c] {
+			f.decs = append(f.decs, Decision{
+				Seq: m.seqOf[s.Job], Org: s.Org, Cluster: c, Machine: s.Machine, At: s.At,
+			})
+		}
+		starts[c] = nil
+	}
+	return nil
+}

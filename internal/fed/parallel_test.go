@@ -1,0 +1,173 @@
+package fed_test
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/fed"
+	"repro/internal/model"
+)
+
+// workerCounts is the fan-out grid the invariance tests sweep: the
+// sequential baseline, a fixed multi-worker width, and whatever the
+// host actually has (which exercises the chunking remainder paths on
+// odd core counts).
+func workerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}
+
+// TestFederationWorkerInvariance: the parallel data plane is a pure
+// throughput knob — for every delegation policy, staleness and
+// migration budget, a federated run produces byte-identical decisions,
+// ledger, per-member ψ and checkpoint bytes at every worker count.
+// This is the lockstep differential test backing the determinism
+// argument in parallel.go: member engines share no mutable state
+// between routing instants, and the merge is in configuration order.
+func TestFederationWorkerInvariance(t *testing.T) {
+	algs := []string{"ref", "directcontr", "fairshare"}
+	type grid struct {
+		policy fed.Policy
+		stale  model.Time
+	}
+	var cases []grid
+	for _, budget := range []int{fed.DefaultMigrationBudget, 2} {
+		for _, stale := range []model.Time{0, 100} {
+			cases = append(cases,
+				grid{fed.Migrating{Inner: fed.RefPolicy{}, Budget: budget}, stale},
+				grid{fed.Migrating{Inner: fed.FairnessAware{}, Budget: budget}, stale},
+			)
+		}
+	}
+	// One non-migrating policy to cover the plain routing path too.
+	cases = append(cases, grid{fed.RefPolicy{}, 0})
+	for _, tc := range cases {
+		budget := 0
+		if m, ok := tc.policy.(fed.Migrating); ok {
+			budget = m.Budget
+		}
+		name := fmt.Sprintf("%s/stale=%d/budget=%d", tc.policy.Name(), tc.stale, budget)
+		t.Run(name, func(t *testing.T) {
+			var wantPrint, wantSnap []byte
+			for _, w := range workerCounts() {
+				f, _ := buildFederation(t, algs, tc.policy, 11)
+				f.SetStaleness(tc.stale)
+				f.SetWorkers(w)
+				if got := f.Workers(); got != w && !(w < 1 && got == 1) {
+					t.Fatalf("Workers() = %d after SetWorkers(%d)", got, w)
+				}
+				if _, err := f.Step(6000); err != nil {
+					t.Fatal(err)
+				}
+				if err := f.CheckConservation(); err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				print := fingerprint(t, f)
+				snap, err := f.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wantPrint == nil {
+					wantPrint, wantSnap = print, snap
+					if len(f.Decisions()) == 0 {
+						t.Fatal("run made no decisions — scenario too small to test anything")
+					}
+					continue
+				}
+				if !bytes.Equal(print, wantPrint) {
+					t.Errorf("workers=%d: decisions/ledger/ψ diverged from workers=1", w)
+				}
+				if !bytes.Equal(snap, wantSnap) {
+					t.Errorf("workers=%d: checkpoint bytes diverged from workers=1", w)
+				}
+			}
+		})
+	}
+}
+
+// TestFederationWorkerChangeMidRun: SetWorkers may be called at any
+// point — including mid-run — without disturbing the trajectory,
+// because the fan-out width is not part of the deterministic state.
+func TestFederationWorkerChangeMidRun(t *testing.T) {
+	algs := []string{"ref", "directcontr", "fairshare"}
+	policy := fed.Migrating{Inner: fed.FairnessAware{}, Budget: fed.DefaultMigrationBudget}
+
+	// The baseline steps through the same instants sequentially: the
+	// decision log records starts in discovery order, so the step
+	// sequence is part of the log's layout — only the worker widths may
+	// differ between the runs under comparison.
+	base, _ := buildFederation(t, algs, policy, 7)
+	for _, until := range []model.Time{2000, 4000, 6000} {
+		if _, err := base.Step(until); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f, _ := buildFederation(t, algs, policy, 7)
+	f.SetWorkers(4)
+	if _, err := f.Step(2000); err != nil {
+		t.Fatal(err)
+	}
+	f.SetWorkers(1)
+	if _, err := f.Step(4000); err != nil {
+		t.Fatal(err)
+	}
+	f.SetWorkers(3)
+	if _, err := f.Step(6000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, f), fingerprint(t, base)) {
+		t.Fatal("changing the worker count mid-run altered the trajectory")
+	}
+}
+
+// TestFederationWorkersSurviveRestore: a snapshot taken from a
+// parallel-stepped federation restores into a sequential one (the
+// width is deliberately absent from checkpoints) and both futures
+// agree; re-widening the restored federation changes nothing.
+func TestFederationWorkersSurviveRestore(t *testing.T) {
+	algs := []string{"ref", "directcontr", "fairshare"}
+	policy := fed.Migrating{Inner: fed.RefPolicy{}, Budget: fed.DefaultMigrationBudget}
+
+	f, w := buildFederation(t, algs, policy, 13)
+	f.SetWorkers(4)
+	if _, err := f.Step(3000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := make([]fed.ClusterSpec, len(w.Machines))
+	for c := range specs {
+		specs[c] = fed.ClusterSpec{
+			Name:     fmt.Sprintf("site%d", c),
+			Alg:      algFactory(algs[c%len(algs)]),
+			Machines: w.Machines[c],
+		}
+	}
+	restored, err := fed.Restore(w.Orgs, specs, policy, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restored.Workers(); got != 1 {
+		t.Fatalf("restored federation has %d workers; the width must not round-trip through checkpoints", got)
+	}
+	restored.SetWorkers(2)
+
+	if _, err := f.Step(6000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Step(6000); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fingerprint(t, f), fingerprint(t, restored)) {
+		t.Fatal("restored run diverged from the original under different worker counts")
+	}
+}

@@ -138,11 +138,9 @@ func (s FedScenario) Generate(horizon model.Time, rng *rand.Rand) (*FedWorkload,
 		clusterOf[u] = weightedPick(rng, clusterWeights)
 	}
 	w := &FedWorkload{
+		Orgs:     s.OrgNames(),
 		Machines: s.MachineGrid(),
 		Jobs:     make([][]model.Job, s.Clusters),
-	}
-	for o := 0; o < s.Orgs; o++ {
-		w.Orgs = append(w.Orgs, fmt.Sprintf("org%d", o))
 	}
 	for _, j := range tr.Jobs {
 		c := clusterOf[j.User]
