@@ -22,6 +22,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/bargain"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/ctrl"
@@ -708,6 +709,45 @@ func BenchmarkHotPath(b *testing.B) {
 				b.StartTimer()
 			}
 		}
+	})
+}
+
+// BenchmarkNBS measures the Nash-bargaining allocator: the bare
+// water-filling solver (SolveInto on a reusable scratch is the
+// per-dispatch-instant cost the NBS stepper pays on top of REF-style
+// simulation), and steady-state NBS stepping under the same hot-path
+// protocol as the BenchmarkHotPath rows. The nbs-step row is gated by
+// cmd/benchdiff against the committed BENCH_10.json baseline; the
+// solver rows record the k-scaling trajectory.
+func BenchmarkNBS(b *testing.B) {
+	for _, k := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("solve/k=%d", k), func(b *testing.B) {
+			w := make([]float64, k)
+			d := make([]float64, k)
+			maxs := make([]float64, k)
+			x := make([]float64, k)
+			var capacity float64
+			for i := 0; i < k; i++ {
+				w[i] = float64(1 + i%5)
+				d[i] = float64(i % 7)
+				// Half the agents cap out below their proportional
+				// share, so the water-filling loop runs several
+				// pinning passes instead of returning after one.
+				maxs[i] = d[i] + float64(2+i%3)
+				capacity += d[i] + 1.5
+			}
+			var s bargain.Solver
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.SolveInto(x, w, d, maxs, capacity); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("nbs-step", func(b *testing.B) {
+		hotPathStep(b, core.NbsAlgorithm{}, hotPathInstance(b, 4, 3))
 	})
 }
 

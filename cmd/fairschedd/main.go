@@ -233,6 +233,9 @@ func build(args []string, stderr io.Writer) (*app, error) {
 		return nil, fmt.Errorf("-restore conflicts with an existing %q session (reloaded from -checkpoint-dir?) or -no-default-session", daemon.DefaultSession)
 	}
 	a := &app{srv: daemon.NewServer(mgr), addr: *addr, ckptDir: *ckptDir, store: store}
+	a.srv.SetLogf(func(format string, args ...any) {
+		fmt.Fprintf(stderr, "fairschedd: "+format+"\n", args...)
+	})
 	if *pipeW > 0 {
 		a.pipe = daemon.NewPipeline(daemon.PipelineOptions{Workers: *pipeW, Burst: *pipeB})
 		a.srv.UsePipeline(a.pipe)

@@ -13,8 +13,10 @@
 // -fed extends the evaluation toward the federated-clouds follow-up:
 // the default three-cluster diurnal scenario is routed under every
 // policy named by -fed-policies (local / leastloaded / fairness /
-// fairness-capacity / fairness-decay / fedref / fedref-sample<N>, plus
-// the re-delegating fedref-migrate / fairness-migrate variants tuned by
+// fairness-capacity / fairness-decay / fedref / fedref-sample<N> /
+// fednbs — the Nash-bargaining split of the same federation game —
+// plus the re-delegating fedref-migrate / fairness-migrate /
+// fednbs-migrate variants tuned by
 // -fed-migration-budget), reporting offloaded fraction, federation-wide
 // value and federation-level Δψ/p_tot against the local-only routing
 // of the same instances.
@@ -84,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 		fedTable     = fs.Bool("fed", false, "compare delegation policies on the federated diurnal grid")
 		fedHorizon   = fs.Int64("fed-horizon", 8000, "federated experiment horizon")
-		fedPolicies  = fs.String("fed-policies", "local,leastloaded,fairness,fedref,fedref-migrate", "comma-separated delegation policies for -fed")
+		fedPolicies  = fs.String("fed-policies", "local,leastloaded,fairness,fedref,fedref-migrate,fednbs", "comma-separated delegation policies for -fed")
 		fedAlg       = fs.String("fed-alg", "directcontr", "member-cluster algorithm for -fed")
 		fedStaleness = fs.Int64("fed-staleness", 0, "summary gossip staleness Δt for -fed (0 = fresh every release)")
 		fedMigBudget = fs.Int("fed-migration-budget", 0, "per-refresh migration cap for -migrate policies (0 = policy default, negative disables)")

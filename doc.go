@@ -21,7 +21,12 @@
 //	                    online job injection/withdrawal and state
 //	                    capture/restore
 //	internal/core     — the paper's contribution: REF, RAND, DIRECTCONTR,
-//	                    each runnable incrementally (core.Stepper)
+//	                    each runnable incrementally (core.Stepper), plus
+//	                    the NBS stepper dispatching toward Nash-bargaining
+//	                    targets
+//	internal/bargain  — deterministic weighted Nash Bargaining Solution
+//	                    solver (water-filling with disagreement points
+//	                    and per-agent caps, zero-alloc SolveInto)
 //	internal/baseline — RoundRobin, FairShare, UtFairShare, CurrFairShare, FCFS
 //	internal/engine   — incremental run engine: Feed/Step/Snapshot/Restore
 //	                    plus the single-run HTTP serving layer
@@ -35,7 +40,8 @@
 //	                    clusters, pluggable delegation policies (local,
 //	                    least-loaded, fairness-aware + pricing ablations,
 //	                    federation-level Shapley routing via fed.Game and
-//	                    RefPolicy), summary-gossip staleness, queued-job
+//	                    RefPolicy, Nash-bargaining routing via
+//	                    NBSPolicy), summary-gossip staleness, queued-job
 //	                    migration at gossip refreshes (Migrating
 //	                    policies), federation-wide contribution ledger,
 //	                    lockstep checkpoints, a parallel member-stepping

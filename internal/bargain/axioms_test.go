@@ -1,0 +1,174 @@
+package bargain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The Nash bargaining axiom battery, mirroring the Shapley axiom suites
+// (internal/shapley): randomized problems are solved and the four NBS
+// axioms checked on each — Pareto optimality, individual rationality,
+// symmetry, and independence of irrelevant alternatives. Problems are
+// drawn with random weights, disagreement points and caps, plus the
+// degenerate single-agent games the issue calls out.
+
+const axiomTol = 1e-7
+
+// randomProblem draws a feasible problem: Σd ≤ C by construction.
+func randomProblem(rng *rand.Rand) (w, d, maxs []float64, capacity float64) {
+	n := 1 + rng.Intn(7)
+	w = make([]float64, n)
+	d = make([]float64, n)
+	maxs = make([]float64, n)
+	sumD := 0.0
+	for i := 0; i < n; i++ {
+		if rng.Intn(5) == 0 {
+			w[i] = 0 // some agents carry no bargaining weight
+		} else {
+			w[i] = 1 + rng.Float64()*9
+		}
+		d[i] = rng.Float64() * 50
+		sumD += d[i]
+		if rng.Intn(3) == 0 {
+			maxs[i] = math.Inf(1)
+		} else {
+			maxs[i] = d[i] + rng.Float64()*60
+		}
+	}
+	capacity = sumD + rng.Float64()*100
+	return
+}
+
+func checkAxioms(t *testing.T, trial int, w, d, maxs []float64, capacity float64, x []float64) {
+	t.Helper()
+	n := len(w)
+
+	// Individual rationality: nobody falls below their outside option.
+	for i := 0; i < n; i++ {
+		if x[i] < d[i]-axiomTol {
+			t.Fatalf("trial %d: IR violated: x[%d] = %v < d[%d] = %v", trial, i, x[i], i, d[i])
+		}
+		if x[i] > maxs[i]+axiomTol {
+			t.Fatalf("trial %d: cap violated: x[%d] = %v > max[%d] = %v", trial, i, x[i], i, maxs[i])
+		}
+	}
+
+	// Pareto optimality: no agent can be improved without hurting
+	// another — the capacity is exhausted, or every agent that could
+	// still absorb surplus (positive weight, below its cap) is pinned.
+	sumX := 0.0
+	for _, v := range x {
+		sumX += v
+	}
+	if sumX > capacity+axiomTol {
+		t.Fatalf("trial %d: capacity exceeded: Σx = %v > C = %v", trial, sumX, capacity)
+	}
+	if sumX < capacity-axiomTol {
+		for i := 0; i < n; i++ {
+			if w[i] > 0 && x[i] < maxs[i]-axiomTol {
+				t.Fatalf("trial %d: Pareto violated: slack %v left while agent %d (w=%v) sits below its cap (%v < %v)",
+					trial, capacity-sumX, i, w[i], x[i], maxs[i])
+			}
+		}
+	}
+
+	// Symmetry: identical agents receive identical allocations.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if w[i] == w[j] && d[i] == d[j] && maxs[i] == maxs[j] {
+				if math.Abs(x[i]-x[j]) > axiomTol {
+					t.Fatalf("trial %d: symmetry violated: agents %d and %d are identical but x = %v vs %v",
+						trial, i, j, x[i], x[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAxiomsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var s Solver
+	for trial := 0; trial < 500; trial++ {
+		w, d, maxs, capacity := randomProblem(rng)
+		x := make([]float64, len(w))
+		if err := s.SolveInto(x, w, d, maxs, capacity); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		checkAxioms(t, trial, w, d, maxs, capacity, x)
+	}
+}
+
+// Weighted symmetry: doubling an agent's weight can only raise its
+// surplus share, and equal-weight agents split surplus equally even
+// when their disagreement points differ.
+func TestWeightedSymmetry(t *testing.T) {
+	x := solve(t, []float64{2, 2}, []float64{10, 0}, nil, 30)
+	if math.Abs((x[0]-10)-(x[1]-0)) > axiomTol {
+		t.Fatalf("equal weights must split surplus equally: surpluses %v, %v", x[0]-10, x[1])
+	}
+	y := solve(t, []float64{4, 2}, []float64{10, 0}, nil, 30)
+	if y[0]-10 <= x[0]-10 {
+		t.Fatalf("raising agent 0's weight must raise its surplus: %v -> %v", x[0]-10, y[0]-10)
+	}
+}
+
+// Independence of irrelevant alternatives: shrinking the feasible set
+// around the solution (tightening caps while keeping the solution
+// feasible) leaves the solution unchanged.
+func TestIIARandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var s Solver
+	for trial := 0; trial < 300; trial++ {
+		w, d, maxs, capacity := randomProblem(rng)
+		n := len(w)
+		x := make([]float64, n)
+		if err := s.SolveInto(x, w, d, maxs, capacity); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		shrunk := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Tighten each cap to a random point between the solution
+			// and the old cap: the feasible set shrinks but still
+			// contains x.
+			if math.IsInf(maxs[i], 1) {
+				if rng.Intn(2) == 0 {
+					shrunk[i] = x[i] + rng.Float64()*10
+				} else {
+					shrunk[i] = math.Inf(1)
+				}
+			} else {
+				shrunk[i] = x[i] + rng.Float64()*(maxs[i]-x[i])
+			}
+		}
+		y := make([]float64, n)
+		if err := s.SolveInto(y, w, d, shrunk, capacity); err != nil {
+			t.Fatalf("trial %d (shrunk): %v", trial, err)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(x[i]-y[i]) > 1e-6*(1+math.Abs(x[i])) {
+				t.Fatalf("trial %d: IIA violated at agent %d: %v -> %v (caps %v -> %v)",
+					trial, i, x[i], y[i], maxs[i], shrunk[i])
+			}
+		}
+	}
+}
+
+// Scale covariance (a consequence of the Nash axioms for this utility
+// family): scaling capacity, disagreement points and caps by α scales
+// the solution by α.
+func TestScaleCovariance(t *testing.T) {
+	w := []float64{3, 1, 2}
+	d := []float64{2, 0, 5}
+	maxs := []float64{9, math.Inf(1), math.Inf(1)}
+	x := solve(t, w, d, maxs, 30)
+	const alpha = 4.0
+	ds := []float64{2 * alpha, 0, 5 * alpha}
+	ms := []float64{9 * alpha, math.Inf(1), math.Inf(1)}
+	y := solve(t, w, ds, ms, 30*alpha)
+	for i := range x {
+		if math.Abs(y[i]-alpha*x[i]) > axiomTol*alpha {
+			t.Fatalf("scale covariance violated at %d: %v vs α·%v", i, y[i], x[i])
+		}
+	}
+}

@@ -176,6 +176,7 @@ func TestSteadyStateStepAllocFree(t *testing.T) {
 		{"RAND", RandAlgorithm{Samples: 15, Opts: RandOptions{Workers: 1}}},
 		{"policy-FCFS", FromPolicy("FCFS", func() sim.Policy { return baseline.NewFCFS() })},
 		{"policy-DirectContr", DirectContrAlgorithm().(StepperAlgorithm)},
+		{"NBS", NbsAlgorithm{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

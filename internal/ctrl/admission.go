@@ -3,9 +3,24 @@ package ctrl
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 
 	"repro/internal/model"
 )
+
+// mulInt64 multiplies two non-negative int64s, reporting whether the
+// product fits — every caller treats a non-fitting product as "larger
+// than anything", never as the wrapped value.
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	c := a * b
+	if c/b != a {
+		return 0, false
+	}
+	return c, true
+}
 
 // Verdict is an admission decision's outcome.
 type Verdict uint8
@@ -117,10 +132,14 @@ func (b *TokenBucket) ensure(org int) error {
 	if b.Rate < 1 || b.Period < 1 || b.Burst < 1 {
 		return fmt.Errorf("ctrl: token bucket needs rate, period and burst >= 1 (have %d/%d/%d)", b.Rate, b.Period, b.Burst)
 	}
+	full, ok := mulInt64(b.Burst, int64(b.Period))
+	if !ok {
+		full = math.MaxInt64
+	}
 	for len(b.levels) <= org {
 		// New buckets start full at time 0: a fresh system admits an
 		// initial burst, as a long-idle bucket would.
-		b.levels = append(b.levels, b.Burst*int64(b.Period))
+		b.levels = append(b.levels, full)
 		b.synced = append(b.synced, 0)
 	}
 	return nil
@@ -133,17 +152,32 @@ func (b *TokenBucket) Decide(job Job, attempt int, now model.Time, _ View) Decis
 		return Decision{Verdict: Rejected}
 	}
 	o := job.Org
-	capacity := b.Burst * int64(b.Period)
+	capacity, ok := mulInt64(b.Burst, int64(b.Period))
+	if !ok {
+		// A capacity beyond int64 is unreachable by any refill: saturate.
+		capacity = math.MaxInt64
+	}
 	if dt := now - b.synced[o]; dt > 0 {
-		b.levels[o] += int64(dt) * b.Rate
-		if b.levels[o] > capacity {
+		// Refill saturates at the capacity; an accrual too large to
+		// represent certainly fills the bucket. levels[o] ≥ 0 and
+		// add ≥ 0, so the comparison itself cannot overflow.
+		if add, ok := mulInt64(int64(dt), b.Rate); !ok || b.levels[o] > capacity-add {
 			b.levels[o] = capacity
+		} else {
+			b.levels[o] += add
 		}
 	}
 	b.synced[o] = now
 	cost := int64(b.Period)
 	if b.SizeCost {
-		cost = int64(job.Size) * int64(b.Period)
+		// A size-cost product that wraps int64 used to come out
+		// negative or tiny and slip past the capacity check, admitting
+		// exactly the jobs the bucket exists to reject. A cost too
+		// large to represent can never fit: fail closed.
+		cost, ok = mulInt64(int64(job.Size), int64(b.Period))
+		if !ok {
+			return Decision{Verdict: Rejected}
+		}
 	}
 	if cost > capacity {
 		return Decision{Verdict: Rejected}
@@ -261,14 +295,13 @@ func (s PolicySpec) Build() (AdmissionPolicy, error) {
 	case "", "always", "alwaysadmit", "always-admit":
 		return AlwaysAdmit{}, nil
 	case "tokenbucket", "token-bucket":
-		b := &TokenBucket{Rate: s.Rate, Period: s.Period, Burst: s.Burst, SizeCost: s.SizeCost, MaxDefers: s.MaxAttempts}
-		if b.Period < 1 {
-			b.Period = 1
+		// Period validates like the other knobs instead of silently
+		// clamping to 1: a spec that meant "rate per 1000 ticks" but
+		// dropped the period would otherwise refill 1000× too fast.
+		if s.Period < 1 || s.Rate < 1 || s.Burst < 1 {
+			return nil, fmt.Errorf("ctrl: token bucket spec needs rate, period and burst >= 1 (have rate %d, period %d, burst %d)", s.Rate, s.Period, s.Burst)
 		}
-		if b.Rate < 1 || b.Burst < 1 {
-			return nil, fmt.Errorf("ctrl: token bucket spec needs rate and burst >= 1 (have rate %d, burst %d)", s.Rate, s.Burst)
-		}
-		return b, nil
+		return &TokenBucket{Rate: s.Rate, Period: s.Period, Burst: s.Burst, SizeCost: s.SizeCost, MaxDefers: s.MaxAttempts}, nil
 	case "backpressure", "queue-depth":
 		p := Backpressure{MaxWaiting: s.MaxWaiting, RetryAfter: s.RetryAfter, MaxAttempts: s.MaxAttempts}
 		if p.RetryAfter < 1 {

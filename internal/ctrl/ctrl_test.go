@@ -2,6 +2,7 @@ package ctrl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -110,6 +111,79 @@ func TestTokenBucketSizeCostRejectsOversized(t *testing.T) {
 	}
 	if d := b.Decide(Job{Org: 0, Size: 5}, 0, 0, View{}); d.Verdict != Rejected {
 		t.Fatalf("size 5 over cap 4: got %v, want rejected", d.Verdict)
+	}
+}
+
+// TestTokenBucketSizeCostOverflow: a size whose token cost wraps int64
+// used to come out negative or tiny, slip under the capacity check and
+// be admitted — exactly the overload job the bucket exists to stop. A
+// non-representable cost must fail closed, and must not corrupt the
+// bucket's level for later, honest jobs.
+func TestTokenBucketSizeCostOverflow(t *testing.T) {
+	const period = 1 << 20
+	b := &TokenBucket{Rate: 1, Period: period, Burst: 8, SizeCost: true}
+	// Size × Period wraps int64 (the old cost was a huge negative).
+	huge := Job{Org: 0, Size: model.Time(math.MaxInt64/period + 2)}
+	if d := b.Decide(huge, 0, 0, View{}); d.Verdict != Rejected {
+		t.Fatalf("wrapping size cost: got %v, want rejected (fail closed)", d.Verdict)
+	}
+	// MaxInt64-sized jobs (Size × Period where Size itself is extreme).
+	if d := b.Decide(Job{Org: 0, Size: model.Time(math.MaxInt64)}, 0, 0, View{}); d.Verdict != Rejected {
+		t.Fatalf("MaxInt64 size: got %v, want rejected", d.Verdict)
+	}
+	// The failed giants consumed nothing: the full burst still admits.
+	for i := 0; i < 8; i++ {
+		if d := b.Decide(Job{Org: 0, Size: 1}, 0, 0, View{}); d.Verdict != Admitted {
+			t.Fatalf("honest job %d after rejected giants: got %v", i, d.Verdict)
+		}
+	}
+	if d := b.Decide(Job{Org: 0, Size: 1}, 0, 0, View{}); d.Verdict != Deferred {
+		t.Fatalf("drained bucket: got %v, want deferred", d.Verdict)
+	}
+}
+
+// TestTokenBucketBoundaryCost: a job costing exactly the bucket
+// capacity is the largest admissible job — admitted from a full bucket,
+// rejected at one token more.
+func TestTokenBucketBoundaryCost(t *testing.T) {
+	b := &TokenBucket{Rate: 1, Period: 3, Burst: 5, SizeCost: true}
+	if d := b.Decide(Job{Org: 0, Size: 5}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatalf("cost == capacity from a full bucket: got %v", d.Verdict)
+	}
+	if d := b.Decide(Job{Org: 1, Size: 6}, 0, 0, View{}); d.Verdict != Rejected {
+		t.Fatalf("cost == capacity+1: got %v, want rejected", d.Verdict)
+	}
+}
+
+// TestTokenBucketRefillOverflowSaturates: an accrual too large to
+// represent (enormous idle gap × rate) must clamp the level to the
+// capacity, not wrap it negative and starve the organization.
+func TestTokenBucketRefillOverflowSaturates(t *testing.T) {
+	b := &TokenBucket{Rate: math.MaxInt64 / 4, Period: 1, Burst: 3}
+	if d := b.Decide(Job{Org: 0}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatalf("fresh bucket: got %v", d.Verdict)
+	}
+	// dt × Rate overflows; the bucket is simply full again.
+	if d := b.Decide(Job{Org: 0}, 0, 1000, View{}); d.Verdict != Admitted {
+		t.Fatalf("post-overflow refill: got %v, want admitted", d.Verdict)
+	}
+	// An extreme Burst × Period capacity saturates rather than wrapping.
+	b2 := &TokenBucket{Rate: 1, Period: model.Time(math.MaxInt64 / 2), Burst: 4}
+	if d := b2.Decide(Job{Org: 0}, 0, 0, View{}); d.Verdict != Admitted {
+		t.Fatalf("saturated capacity bucket rejected its first job: %v", d.Verdict)
+	}
+}
+
+// TestPolicySpecPeriodValidated: Build validates the period like every
+// other knob instead of silently clamping it to 1 — a spec that meant
+// "rate per 1000 ticks" but dropped the period would otherwise refill
+// 1000× too fast.
+func TestPolicySpecPeriodValidated(t *testing.T) {
+	if _, err := (PolicySpec{Policy: "tokenbucket", Rate: 5, Burst: 10}).Build(); err == nil {
+		t.Fatal("token bucket spec without a period accepted")
+	}
+	if _, err := (PolicySpec{Policy: "tokenbucket", Rate: 5, Period: 1000, Burst: 10}).Build(); err != nil {
+		t.Fatalf("valid token bucket spec rejected: %v", err)
 	}
 }
 

@@ -565,6 +565,12 @@ func (s *Session) Checkpoint() ([]byte, error) {
 	return s.fedn.Snapshot()
 }
 
+// errRestoreConfig marks a restore failure caused by the session's own
+// stored configuration failing to rebuild — server state gone bad, not
+// a problem with the snapshot the client sent. The HTTP layer maps it
+// to a 500 where snapshot rejections stay 400s.
+var errRestoreConfig = errors.New("daemon: session configuration no longer builds")
+
 // Restore replaces the session's run state with a snapshot captured by
 // a session of the same configuration.
 func (s *Session) Restore(data []byte) error {
@@ -578,7 +584,7 @@ func (s *Session) restoreLocked(data []byte) error {
 	if s.eng != nil {
 		alg, err := s.cfg.buildAlg(defaultStr(s.cfg.Alg, "ref"))
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %w", errRestoreConfig, err)
 		}
 		var (
 			restored *engine.Engine
@@ -599,11 +605,11 @@ func (s *Session) restoreLocked(data []byte) error {
 	}
 	specs, err := s.cfg.fedSpecs()
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errRestoreConfig, err)
 	}
 	policy, err := s.cfg.fedPolicy()
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %w", errRestoreConfig, err)
 	}
 	restored, err := fed.Restore(s.cfg.OrgNames, specs, policy, data)
 	if err != nil {

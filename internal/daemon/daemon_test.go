@@ -13,8 +13,10 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/ctrl"
 	"repro/internal/daemon"
+	"repro/internal/fed"
 	"repro/internal/model"
 )
 
@@ -219,6 +221,67 @@ func TestSessionAPIValidation(t *testing.T) {
 	if id := created["id"].(string); id == "s1" {
 		t.Fatalf("auto-generated id collided with the taken %q", id)
 	}
+}
+
+// TestHTTPStatusCodes: advance and restore failures map onto distinct
+// statuses — client mistakes stay 400, while stepping a session
+// restored from a streaming checkpoint before its source is back is a
+// repairable conflict (409). The old handler folded every failure into
+// 400, so clients could not tell a bad request from a session that
+// needed repair.
+func TestHTTPStatusCodes(t *testing.T) {
+	a := newAPI(t)
+	a.do("POST", "/v1/sessions", `{"id":"fleet",`+mustJSON(t, fedCfg())[1:], http.StatusCreated)
+
+	// Client errors keep their 400s.
+	a.do("POST", "/v1/sessions/fleet/advance", `{"until":`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions/fleet/advance", `{"until":50}`, http.StatusOK)
+	a.do("POST", "/v1/sessions/fleet/advance", `{"until":10}`, http.StatusBadRequest)
+	a.do("POST", "/v1/sessions/fleet/restore", `{"version":99}`, http.StatusBadRequest)
+
+	// A snapshot of the same configuration captured mid-stream restores
+	// fine, but stepping it again needs the job source the checkpoint
+	// cannot carry: that is the session's state conflicting with the
+	// request, not a malformed request.
+	snap := streamingSnapshot(t)
+	a.do("POST", "/v1/sessions/fleet/restore", string(snap), http.StatusOK)
+	a.do("POST", "/v1/sessions/fleet/advance", `{"until":2000}`, http.StatusConflict)
+}
+
+// streamingSnapshot captures a federation matching fedCfg mid-stream:
+// its checkpoint carries a source cursor, so a daemon session restored
+// from it refuses to step until the source is re-attached.
+func streamingSnapshot(t *testing.T) []byte {
+	t.Helper()
+	policy, err := fed.PolicyByName("leastloaded")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []fed.ClusterSpec{
+		{Name: "east", Alg: core.RefAlgorithm{}, Machines: []int{2, 0}},
+		{Name: "west", Alg: core.DirectContrAlgorithm().(core.StepperAlgorithm), Machines: []int{0, 2}},
+	}
+	f, err := fed.New([]string{"alpha", "beta"}, specs, policy, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := []fed.SourceJob{
+		{Cluster: 0, Org: 0, Size: 3, Release: 0},
+		{Cluster: 0, Org: 1, Size: 3, Release: 1},
+		{Cluster: 1, Org: 0, Size: 3, Release: 50},
+		{Cluster: 1, Org: 1, Size: 3, Release: 900},
+	}
+	if err := f.SetSource(fed.NewSliceSource(jobs), 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
 }
 
 // TestFlushAllAndLoadDir round-trips a whole session table through a

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/fed"
 	"repro/internal/model"
 )
 
@@ -38,6 +39,7 @@ import (
 type Server struct {
 	mgr  *Manager
 	pipe *Pipeline
+	log  func(format string, args ...any)
 }
 
 // NewServer wraps a manager for HTTP serving.
@@ -45,6 +47,18 @@ func NewServer(m *Manager) *Server { return &Server{mgr: m} }
 
 // Manager returns the underlying session manager.
 func (s *Server) Manager() *Manager { return s.mgr }
+
+// SetLogf installs a sink for server-side I/O problems the client can
+// no longer be told about (response-write failures, unmarshalable
+// response values). Optional; set before the handler starts serving.
+func (s *Server) SetLogf(logf func(format string, args ...any)) { s.log = logf }
+
+// logf forwards to the installed sink, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.log != nil {
+		s.log(format, args...)
+	}
+}
 
 // UsePipeline routes advance requests through p instead of calling
 // Session.Advance inline: requests enqueue onto the session's stripe
@@ -75,7 +89,7 @@ func (s *Server) Handler() http.Handler {
 		return func(w http.ResponseWriter, r *http.Request) {
 			sess, ok := s.mgr.Get(DefaultSession)
 			if !ok {
-				writeError(w, http.StatusNotFound, "no %q session (daemon booted without a default run)", DefaultSession)
+				s.writeError(w, http.StatusNotFound, "no %q session (daemon booted without a default run)", DefaultSession)
 				return
 			}
 			h(s, w, r, sess)
@@ -89,7 +103,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/restore", alias((*Server).handleRestore))
 
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": len(s.mgr.List())})
+		s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "sessions": len(s.mgr.List())})
 	})
 	return mux
 }
@@ -99,7 +113,7 @@ func (s *Server) withSession(h func(*Server, http.ResponseWriter, *http.Request,
 	return func(w http.ResponseWriter, r *http.Request) {
 		sess, ok := s.mgr.Get(r.PathValue("id"))
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+			s.writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
 			return
 		}
 		h(s, w, r, sess)
@@ -112,15 +126,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		SessionConfig
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	sess, err := s.mgr.Create(req.ID, req.SessionConfig)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, sess.State())
+	s.writeJSON(w, http.StatusCreated, sess.State())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
@@ -136,16 +150,16 @@ func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 		st := sess.State()
 		rows = append(rows, row{ID: sess.ID(), Kind: sess.Kind(), Now: st.Now, Jobs: st.Jobs, Decisions: st.Decisions})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": rows})
+	s.writeJSON(w, http.StatusOK, map[string]any{"sessions": rows})
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if !s.mgr.Delete(id) {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		s.writeError(w, http.StatusNotFound, "unknown session %q", id)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+	s.writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, sess *Session) {
@@ -153,15 +167,15 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, sess *Sessio
 		Jobs []JobSubmission `json:"jobs"`
 	}
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	ids, err := sess.Submit(req.Jobs)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "now": sess.State().Now})
+	s.writeJSON(w, http.StatusOK, map[string]any{"ids": ids, "now": sess.State().Now})
 }
 
 func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Session) {
@@ -172,7 +186,7 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Ses
 	// (same as {}), so a bare io.EOF is not an error; a truncated JSON
 	// document still is (ErrUnexpectedEOF).
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
 	var (
@@ -186,14 +200,14 @@ func (s *Server) handleAdvance(w http.ResponseWriter, r *http.Request, sess *Ses
 		now, decs, err = sess.Advance(req.Until)
 	}
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		s.writeError(w, advanceStatus(err), "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"now": now, "decisions": decs})
+	s.writeJSON(w, http.StatusOK, map[string]any{"now": now, "decisions": decs})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, _ *http.Request, sess *Session) {
-	writeJSON(w, http.StatusOK, sess.State())
+	s.writeJSON(w, http.StatusOK, sess.State())
 }
 
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request, sess *Session) {
@@ -201,46 +215,83 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request, sess *S
 	if v := r.URL.Query().Get("since"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "bad since parameter %q", v)
+			s.writeError(w, http.StatusBadRequest, "bad since parameter %q", v)
 			return
 		}
 		since = n
 	}
 	total, decs := sess.Decisions(since)
-	writeJSON(w, http.StatusOK, map[string]any{"total": total, "decisions": decs})
+	s.writeJSON(w, http.StatusOK, map[string]any{"total": total, "decisions": decs})
 }
 
 func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request, sess *Session) {
 	data, err := sess.Checkpoint()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	w.Write(data)
+	if _, err := w.Write(data); err != nil {
+		s.logf("daemon: writing checkpoint response: %v", err)
+	}
+}
+
+// advanceStatus maps an advance failure onto its HTTP status: a sticky
+// job-source failure is broken server-side run state (500), a streaming
+// checkpoint stepped before its source was re-attached is a conflict
+// the client can repair (409), and everything else — bad until, a
+// config the request contradicts — is the request's fault (400).
+func advanceStatus(err error) int {
+	switch {
+	case errors.Is(err, fed.ErrSourceFailed):
+		return http.StatusInternalServerError
+	case errors.Is(err, fed.ErrNoSource):
+		return http.StatusConflict
+	default:
+		return http.StatusBadRequest
+	}
 }
 
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request, sess *Session) {
 	var buf json.RawMessage
 	if err := json.NewDecoder(r.Body).Decode(&buf); err != nil {
-		writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
+		s.writeError(w, http.StatusBadRequest, "bad snapshot: %v", err)
 		return
 	}
 	if err := sess.Restore(buf); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		// A snapshot the session rejects is the client's problem; a
+		// session whose own configuration no longer rebuilds is ours.
+		status := http.StatusBadRequest
+		if errors.Is(err, errRestoreConfig) {
+			status = http.StatusInternalServerError
+		}
+		s.writeError(w, status, "%v", err)
 		return
 	}
 	st := sess.State()
-	writeJSON(w, http.StatusOK, map[string]any{"now": st.Now, "decisions": st.Decisions})
+	s.writeJSON(w, http.StatusOK, map[string]any{"now": st.Now, "decisions": st.Decisions})
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON marshals v before touching the response, so a value that
+// cannot marshal becomes a clean 500 instead of a truncated 200 with a
+// committed status line; write failures (client gone mid-response) are
+// reported to the server log rather than silently discarded.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.logf("daemon: marshaling %T response: %v", v, err)
+		status = http.StatusInternalServerError
+		data = []byte(`{"error":"internal: response serialization failed"}`)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	data = append(data, '\n')
+	if _, err := w.Write(data); err != nil {
+		s.logf("daemon: writing response: %v", err)
+	}
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func (s *Server) writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	s.writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }

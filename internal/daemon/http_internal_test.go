@@ -1,0 +1,62 @@
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"repro/internal/fed"
+)
+
+// advanceStatus distinguishes the federation's sentinel failures from
+// garden-variety bad requests, including through wrapping.
+func TestAdvanceStatusMapping(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"source failure", fed.ErrSourceFailed, http.StatusInternalServerError},
+		{"wrapped source failure", fmt.Errorf("fed: step: %w", fed.ErrSourceFailed), http.StatusInternalServerError},
+		{"no source after restore", fed.ErrNoSource, http.StatusConflict},
+		{"wrapped no-source", fmt.Errorf("%w: attach it with SetSource", fed.ErrNoSource), http.StatusConflict},
+		{"time going backwards", errors.New("fed: step to 5 before federation time 10"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := advanceStatus(c.err); got != c.want {
+			t.Errorf("%s: advanceStatus = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// A restore that fails because the session's own stored configuration
+// no longer rebuilds (a skewed deploy dropped the algorithm) must be
+// tagged as the server's fault, distinguishable from a snapshot the
+// session merely rejects.
+func TestRestoreConfigFailureTagged(t *testing.T) {
+	mgr := NewManager()
+	sess, err := mgr.Create("s", SessionConfig{Kind: KindSingle, Alg: "ref", Orgs: 2, Machines: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sess.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: while the configuration still builds, the snapshot restores.
+	if err := sess.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Restore([]byte(`{"version":99}`)); errors.Is(err, errRestoreConfig) {
+		t.Fatalf("a rejected snapshot was blamed on the configuration: %v", err)
+	}
+	sess.cfg.Alg = "vanished-alg"
+	err = sess.Restore(snap)
+	if err == nil {
+		t.Fatal("restore with an unbuildable configuration succeeded")
+	}
+	if !errors.Is(err, errRestoreConfig) {
+		t.Fatalf("config-rebuild failure not tagged errRestoreConfig: %v", err)
+	}
+}

@@ -13,7 +13,7 @@ import (
 
 // steppers returns every incremental algorithm configuration the engine
 // must drive byte-identically to the batch path: REF with both drivers,
-// RAND, DIRECTCONTR and the five policy baselines.
+// RAND, DIRECTCONTR, NBS and the five policy baselines.
 func steppers() []core.StepperAlgorithm {
 	return []core.StepperAlgorithm{
 		core.RefAlgorithm{},
@@ -21,6 +21,7 @@ func steppers() []core.StepperAlgorithm {
 		core.RandAlgorithm{Samples: 7},
 		core.RandAlgorithm{Samples: 6, Opts: core.RandOptions{Stratified: true}},
 		core.DirectContrAlgorithm().(core.StepperAlgorithm),
+		core.NbsAlgorithm{},
 		core.FromPolicy("RoundRobin", func() sim.Policy { return baseline.NewRoundRobin() }),
 		core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }),
 		core.FromPolicy("UtFairShare", func() sim.Policy { return baseline.NewUtFairShare() }),

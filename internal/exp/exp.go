@@ -69,6 +69,7 @@ func DefaultAlgorithms(randSamples int) []core.Algorithm {
 		core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }),
 		core.FromPolicy("UtFairShare", func() sim.Policy { return baseline.NewUtFairShare() }),
 		core.FromPolicy("CurrFairShare", func() sim.Policy { return baseline.NewCurrFairShare() }),
+		core.NbsAlgorithm{},
 	}
 }
 

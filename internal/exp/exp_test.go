@@ -75,7 +75,7 @@ func TestUnfairnessTableAndRender(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(table.Workloads) != 1 || len(table.Algorithms) != 6 {
+	if len(table.Workloads) != 1 || len(table.Algorithms) != 7 {
 		t.Fatalf("table shape: %v × %v", table.Workloads, table.Algorithms)
 	}
 	out := table.Render("Table test")

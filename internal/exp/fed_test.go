@@ -16,12 +16,12 @@ func TestFedPolicyTableTiny(t *testing.T) {
 	cfg.Horizon = 2500
 	cfg.Instances = 2
 	cfg.Workers = 2
-	table, err := FedPolicyTable(cfg, []string{"local", "leastloaded", "fairness", "fedref"})
+	table, err := FedPolicyTable(cfg, []string{"local", "leastloaded", "fairness", "fedref", "fednbs"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, metric := range []string{FedMetricOffload, FedMetricValue, FedMetricDelta} {
-		for _, policy := range []string{"local", "leastloaded", "fairness", "fedref"} {
+		for _, policy := range []string{"local", "leastloaded", "fairness", "fedref", "fednbs"} {
 			if table.Get(metric, policy) == nil {
 				t.Fatalf("missing cell (%s, %s)", metric, policy)
 			}
@@ -39,8 +39,11 @@ func TestFedPolicyTableTiny(t *testing.T) {
 	if got := table.Get(FedMetricValue, "fedref").Mean; got <= 0 {
 		t.Fatalf("fedref federation value %v", got)
 	}
+	if got := table.Get(FedMetricValue, "fednbs").Mean; got <= 0 {
+		t.Fatalf("fednbs federation value %v", got)
+	}
 	out := table.Render("fed")
-	for _, want := range []string{"offload%", "value", "fedref", "leastloaded"} {
+	for _, want := range []string{"offload%", "value", "fedref", "fednbs", "leastloaded"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("rendered table missing %q:\n%s", want, out)
 		}

@@ -19,6 +19,8 @@ func AlgorithmByName(name string, randSamples int, refOpts core.RefOptions, rand
 		return core.RandAlgorithm{Samples: randSamples, Opts: randOpts}, nil
 	case "directcontr", "direct":
 		return core.DirectContrAlgorithm(), nil
+	case "nbs":
+		return core.NbsAlgorithm{}, nil
 	case "fairshare":
 		return core.FromPolicy("FairShare", func() sim.Policy { return baseline.NewFairShare() }), nil
 	case "utfairshare":
@@ -30,6 +32,6 @@ func AlgorithmByName(name string, randSamples int, refOpts core.RefOptions, rand
 	case "fcfs":
 		return core.FromPolicy("FCFS", func() sim.Policy { return baseline.NewFCFS() }), nil
 	default:
-		return nil, fmt.Errorf("unknown algorithm %q (want ref, rand, directcontr, fairshare, utfairshare, currfairshare, roundrobin or fcfs)", name)
+		return nil, fmt.Errorf("unknown algorithm %q (want ref, rand, directcontr, nbs, fairshare, utfairshare, currfairshare, roundrobin or fcfs)", name)
 	}
 }

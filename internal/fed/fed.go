@@ -464,7 +464,7 @@ func (f *Federation) Step(until model.Time) ([]Decision, error) {
 	if f.srcNeeded && !f.srcDone {
 		// A drained source (srcDone) needs no re-attachment: the stream
 		// has nothing left to pull and stepping is safe without it.
-		return nil, fmt.Errorf("fed: restored from a streaming checkpoint at source cursor %d; attach the source with SetSource before stepping", f.srcCursor)
+		return nil, fmt.Errorf("%w: restored at source cursor %d; attach the source with SetSource before stepping", ErrNoSource, f.srcCursor)
 	}
 	if f.plane != nil {
 		if err := f.stepPlane(until); err != nil {

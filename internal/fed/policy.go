@@ -399,10 +399,14 @@ func PolicyByName(name string) (Policy, error) {
 		return RefPolicy{}, nil
 	case "fedref-migrate", "ref-migrate":
 		return Migrating{Inner: RefPolicy{}, Budget: DefaultMigrationBudget}, nil
+	case "fednbs", "nbs":
+		return NBSPolicy{}, nil
+	case "fednbs-migrate", "nbs-migrate":
+		return Migrating{Inner: NBSPolicy{}, Budget: DefaultMigrationBudget}, nil
 	case "fairness-migrate", "fair-migrate":
 		return Migrating{Inner: FairnessAware{}, Budget: DefaultMigrationBudget}, nil
 	default:
-		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded, fairness, fairness-capacity, fairness-decay, fedref, fedref-migrate or fairness-migrate)", name)
+		return nil, fmt.Errorf("fed: unknown delegation policy %q (want local, leastloaded, fairness, fairness-capacity, fairness-decay, fedref, fedref-migrate, fednbs, fednbs-migrate or fairness-migrate)", name)
 	}
 }
 

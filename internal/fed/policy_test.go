@@ -124,6 +124,9 @@ func TestPolicyByName(t *testing.T) {
 		"decay":             "fairness-decay",
 		"fedref":            "fedref",
 		"REF":               "fedref",
+		"fednbs":            "fednbs",
+		"NBS":               "fednbs",
+		"fednbs-migrate":    "fednbs-migrate",
 	} {
 		p, err := fed.PolicyByName(name)
 		if err != nil {

@@ -2,12 +2,26 @@ package fed
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"io"
 
 	"repro/internal/model"
 	"repro/internal/trace"
 )
+
+// ErrSourceFailed tags every sticky job-source failure — a pull error
+// or a stream-contract violation. The workload past the failure point
+// is unknowable, so the federation refuses to step until rebuilt;
+// callers mapping errors to transport status codes can errors.Is
+// against it to tell broken federation state from a bad request.
+var ErrSourceFailed = errors.New("fed: job source failed")
+
+// ErrNoSource reports a Step on a federation restored from a streaming
+// checkpoint before SetSource re-attached the source: the run cannot
+// continue as-is, but re-attaching repairs it — a conflict with the
+// session's current state, not a malformed request.
+var ErrNoSource = errors.New("fed: streaming checkpoint has no source attached")
 
 // SourceJob is one job yielded by a JobSource: where it was handed in,
 // who owns it, how big it is and when it becomes available — the
@@ -109,7 +123,7 @@ func (f *Federation) fillThrough(t model.Time) error {
 func (f *Federation) pullOne() error {
 	j, ok, err := f.source.Next()
 	if err != nil {
-		f.srcErr = fmt.Errorf("fed: job source: %w", err)
+		f.srcErr = fmt.Errorf("%w: %w", ErrSourceFailed, err)
 		return f.srcErr
 	}
 	if !ok {
@@ -117,8 +131,8 @@ func (f *Federation) pullOne() error {
 		return nil
 	}
 	if err := f.acceptSourceJob(j); err != nil {
-		f.srcErr = err
-		return err
+		f.srcErr = fmt.Errorf("%w: %w", ErrSourceFailed, err)
+		return f.srcErr
 	}
 	return nil
 }
@@ -137,8 +151,8 @@ func (f *Federation) acceptSourceJob(j SourceJob) error {
 		return fmt.Errorf("fed: job source yielded size %d; sizes must be >= 1", j.Size)
 	}
 	if j.Release < f.srcLast {
-		return fmt.Errorf("fed: job source yielded release %d after release %d; sources must be nondecreasing in release",
-			j.Release, f.srcLast)
+		return fmt.Errorf("fed: job source release went backwards, from %d to %d; sources must be nondecreasing in release",
+			f.srcLast, j.Release)
 	}
 	if j.Release < f.now {
 		return fmt.Errorf("fed: job source yielded release %d before federation time %d", j.Release, f.now)
@@ -197,6 +211,13 @@ type SWFSource struct {
 	primed   bool
 	arrived  int64 // file-order index, the heap's tie-break
 	done     bool
+
+	// lastEmit/emitted track the stream-order contract: once a record
+	// has been emitted, no later pop may carry an earlier submit. err
+	// makes any failure sticky — the stream past it is unknowable.
+	lastEmit model.Time
+	emitted  bool
+	err      error
 }
 
 // NewSWFSource streams the SWF archive read from r over the given
@@ -230,12 +251,21 @@ func (s *SWFSource) SetSlack(n int) {
 // Skipped returns the number of unusable archive records skipped so far.
 func (s *SWFSource) Skipped() int { return s.r.Skipped() }
 
-// Next implements JobSource.
+// Next implements JobSource. Disorder wider than the reorder slack is
+// detected here, at the pull: the record about to be emitted cannot
+// precede one already emitted, or the downstream federation would see
+// a release going backwards mid-stream. Errors are sticky — a source
+// that has failed once keeps failing, because every record after the
+// failure point is suspect.
 func (s *SWFSource) Next() (SourceJob, bool, error) {
+	if s.err != nil {
+		return SourceJob{}, false, s.err
+	}
 	if !s.primed {
 		s.primed = true
 		for len(s.buf) < s.slack {
 			if err := s.readOne(); err != nil {
+				s.err = err
 				return SourceJob{}, false, err
 			}
 			if s.done {
@@ -247,8 +277,15 @@ func (s *SWFSource) Next() (SourceJob, bool, error) {
 		return SourceJob{}, false, nil
 	}
 	it := heap.Pop(&s.buf).(swfItem)
+	if s.emitted && it.job.Submit < s.lastEmit {
+		s.err = fmt.Errorf("fed: swf source: archive disorder exceeds the reorder slack of %d records: submit %d surfaced after submit %d was already emitted (raise SetSlack or pre-sort the archive)",
+			s.slack, it.job.Submit, s.lastEmit)
+		return SourceJob{}, false, s.err
+	}
+	s.lastEmit, s.emitted = it.job.Submit, true
 	if !s.done {
 		if err := s.readOne(); err != nil {
+			s.err = err
 			return SourceJob{}, false, err
 		}
 	}

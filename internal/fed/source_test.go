@@ -464,6 +464,79 @@ func TestSWFSource(t *testing.T) {
 	}
 }
 
+// TestSWFSourceDisorderBeyondSlack: an archive whose submit disorder is
+// wider than the reorder buffer must fail the pull that detects it, not
+// silently emit a release going backwards (the old behavior handed the
+// out-of-order job downstream and let the federation blame the source
+// contract). Whatever was emitted before the failure stays nondecreasing,
+// and the error is sticky.
+func TestSWFSourceDisorderBeyondSlack(t *testing.T) {
+	// Record 4's submit (5) is 95 behind records already emitted; with a
+	// slack of 2 it surfaces only after submits 100 and 101 are out.
+	const wild = `; Version: 2.2
+1 100 -1 10 1 -1 -1 1 -1 -1 1 7 -1 -1 -1 -1 -1 -1
+2 101 -1 6 1 -1 -1 1 -1 -1 1 8 -1 -1 -1 -1 -1 -1
+3 102 -1 4 1 -1 -1 1 -1 -1 1 9 -1 -1 -1 -1 -1 -1
+4 5 -1 2 1 -1 -1 1 -1 -1 1 10 -1 -1 -1 -1 -1 -1
+`
+	src, err := fed.NewSWFSource(strings.NewReader(wild), 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.SetSlack(2)
+	var emitted []fed.SourceJob
+	var pullErr error
+	for {
+		j, ok, err := src.Next()
+		if err != nil {
+			pullErr = err
+			break
+		}
+		if !ok {
+			break
+		}
+		emitted = append(emitted, j)
+	}
+	if pullErr == nil {
+		t.Fatalf("disorder wider than the slack drained cleanly: %+v", emitted)
+	}
+	if !strings.Contains(pullErr.Error(), "slack") {
+		t.Fatalf("error does not point at the slack knob: %v", pullErr)
+	}
+	for i := 1; i < len(emitted); i++ {
+		if emitted[i].Release < emitted[i-1].Release {
+			t.Fatalf("release went backwards before the failure: %+v", emitted)
+		}
+	}
+	if _, _, err := src.Next(); err == nil {
+		t.Fatal("source error is not sticky")
+	}
+
+	// The same archive with enough slack drains cleanly, sorted.
+	src2, err := fed.NewSWFSource(strings.NewReader(wild), 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2.SetSlack(4)
+	var last model.Time
+	for n := 0; ; n++ {
+		j, ok, err := src2.Next()
+		if err != nil {
+			t.Fatalf("wide-enough slack still failed: %v", err)
+		}
+		if !ok {
+			if n != 4 {
+				t.Fatalf("drained %d jobs, want 4", n)
+			}
+			break
+		}
+		if j.Release < last {
+			t.Fatalf("sorted stream went backwards: %d after %d", j.Release, last)
+		}
+		last = j.Release
+	}
+}
+
 // FuzzFedStreamStep interleaves stepping, explicit submissions and
 // migration-driven withdrawals against a streaming source and asserts
 // the two invariants everything else rests on: job conservation, and
